@@ -1,0 +1,64 @@
+"""Figure 1 — motivational case study.
+
+Accurate vs approximate FFNN and LeNet-5 under the linf-PGD and l2-CR attacks
+over the full perturbation-budget sweep.  The accurate models use the exact
+multiplier (1JFF); the approximate models use the L1G stand-in, matching the
+paper's motivational setup.
+"""
+
+import pytest
+
+from benchmarks.conftest import EPSILONS, report_grid
+from repro.attacks import get_attack
+from repro.robustness import build_victims, multiplier_sweep
+
+
+def _sweep(bundle, attack_key, dataset_name):
+    victims = build_victims(
+        bundle["model"], ["mul8u_1JFF", "mul8s_L1G"], bundle["calibration"]
+    )
+    return multiplier_sweep(
+        bundle["model"],
+        victims,
+        get_attack(attack_key),
+        bundle["x"],
+        bundle["y"],
+        EPSILONS,
+        dataset_name,
+    )
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_ffnn_pgd_linf(benchmark, ffnn_bundle):
+    """Fig. 1 (top-left): FFNN, accurate vs L1G, linf PGD."""
+    grid = benchmark.pedantic(
+        lambda: _sweep(ffnn_bundle, "PGD_linf", "synthetic-mnist"), rounds=1, iterations=1
+    )
+    report_grid("fig1_ffnn_pgd_linf", grid, benchmark.extra_info)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_ffnn_cr_l2(benchmark, ffnn_bundle):
+    """Fig. 1 (bottom-left): FFNN, accurate vs L1G, l2 contrast reduction."""
+    grid = benchmark.pedantic(
+        lambda: _sweep(ffnn_bundle, "CR_l2", "synthetic-mnist"), rounds=1, iterations=1
+    )
+    report_grid("fig1_ffnn_cr_l2", grid, benchmark.extra_info)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_lenet_pgd_linf(benchmark, lenet_bundle):
+    """Fig. 1 (top-right): LeNet-5, accurate vs L1G, linf PGD."""
+    grid = benchmark.pedantic(
+        lambda: _sweep(lenet_bundle, "PGD_linf", "synthetic-mnist"), rounds=1, iterations=1
+    )
+    report_grid("fig1_lenet_pgd_linf", grid, benchmark.extra_info)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_lenet_cr_l2(benchmark, lenet_bundle):
+    """Fig. 1 (bottom-right): LeNet-5, accurate vs L1G, l2 contrast reduction."""
+    grid = benchmark.pedantic(
+        lambda: _sweep(lenet_bundle, "CR_l2", "synthetic-mnist"), rounds=1, iterations=1
+    )
+    report_grid("fig1_lenet_cr_l2", grid, benchmark.extra_info)

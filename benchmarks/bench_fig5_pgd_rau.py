@@ -1,0 +1,64 @@
+"""Figure 5 — LeNet-5 / MNIST robustness heat-maps under PGD and RAU.
+
+Four panels: (a) l2 PGD, (b) linf PGD, (c) l2 RAU, (d) linf RAU.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPSILONS, report_grid
+from repro.analysis import compare_with_paper_grid, lenet_paper_grid
+from repro.attacks import get_attack
+from repro.robustness import multiplier_sweep
+
+
+def _panel(lenet_bundle, attack_key):
+    return multiplier_sweep(
+        lenet_bundle["model"],
+        lenet_bundle["victims"],
+        get_attack(attack_key),
+        lenet_bundle["x"],
+        lenet_bundle["y"],
+        EPSILONS,
+        "synthetic-mnist",
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_pgd_l2(benchmark, lenet_bundle):
+    """Fig. 5a: l2 PGD degrades accuracy slowly over the budget sweep."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "PGD_l2"), rounds=1, iterations=1)
+    report_grid("fig5a_pgd_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, lenet_paper_grid("PGD_l2")
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_pgd_linf(benchmark, lenet_bundle):
+    """Fig. 5b: linf PGD collapses every model beyond small budgets."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "PGD_linf"), rounds=1, iterations=1)
+    report_grid("fig5b_pgd_linf", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, lenet_paper_grid("PGD_linf")
+    )
+    assert np.all(grid.row(2.0) <= 20.0)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5c_rau_l2(benchmark, lenet_bundle):
+    """Fig. 5c: l2 repeated uniform noise is essentially harmless."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAU_l2"), rounds=1, iterations=1)
+    report_grid("fig5c_rau_l2", grid, benchmark.extra_info)
+    assert grid.accuracy_loss().max() <= 25.0
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5d_rau_linf(benchmark, lenet_bundle):
+    """Fig. 5d: linf repeated uniform noise destroys accuracy at large budgets."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAU_linf"), rounds=1, iterations=1)
+    report_grid("fig5d_rau_linf", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, lenet_paper_grid("RAU_linf")
+    )
+    assert grid.row(2.0).mean() <= 40.0

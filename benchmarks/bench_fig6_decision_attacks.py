@@ -1,0 +1,57 @@
+"""Figure 6 — LeNet-5 / MNIST robustness heat-maps under CR and RAG.
+
+Two panels: (a) l2 contrast reduction, (b) l2 repeated additive Gaussian
+noise.  This figure carries the paper's headline claim: the same CR attack
+that leaves the accurate DNN untouched causes a large accuracy loss in the
+high-error AxDNNs.
+"""
+
+import pytest
+
+from benchmarks.conftest import EPSILONS, report_grid
+from repro.analysis import (
+    approximation_not_universally_defensive,
+    compare_with_paper_grid,
+    lenet_paper_grid,
+)
+from repro.attacks import get_attack
+from repro.robustness import multiplier_sweep
+
+
+def _panel(lenet_bundle, attack_key):
+    return multiplier_sweep(
+        lenet_bundle["model"],
+        lenet_bundle["victims"],
+        get_attack(attack_key),
+        lenet_bundle["x"],
+        lenet_bundle["y"],
+        EPSILONS,
+        "synthetic-mnist",
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_cr_l2(benchmark, lenet_bundle):
+    """Fig. 6a: contrast reduction barely affects the accurate DNN but can hurt AxDNNs."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "CR_l2"), rounds=1, iterations=1)
+    report_grid("fig6a_cr_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, lenet_paper_grid("CR_l2")
+    )
+    # the accurate DNN's accuracy loss stays tiny across the whole sweep
+    accurate_loss = grid.accuracy_loss()[:, grid.victim_labels.index("M1")].max()
+    benchmark.extra_info["accurate_max_loss"] = float(accurate_loss)
+    assert accurate_loss <= 10.0
+    check = approximation_not_universally_defensive(grid, slack=1.0)
+    benchmark.extra_info["not_universally_defensive"] = check.detail
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_rag_l2(benchmark, lenet_bundle):
+    """Fig. 6b: repeated additive Gaussian noise is harmless at every budget."""
+    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAG_l2"), rounds=1, iterations=1)
+    report_grid("fig6b_rag_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, lenet_paper_grid("RAG_l2")
+    )
+    assert grid.accuracy_loss().max() <= 20.0

@@ -1,0 +1,69 @@
+"""Figure 7 — AlexNet / CIFAR-10 robustness heat-maps under decision attacks.
+
+Four panels: (a) l2 CR, (b) l2 RAG, (c) l2 RAU, (d) linf RAU over the
+AlexNet multiplier set (A1..A8).  The paper's observation: the AxDNNs track
+the accurate AlexNet closely except under the linf RAU attack, where
+everything collapses at large budgets.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import EPSILONS, report_grid
+from repro.analysis import alexnet_paper_grid, compare_with_paper_grid
+from repro.attacks import get_attack
+from repro.robustness import multiplier_sweep
+
+
+def _panel(alexnet_bundle, attack_key):
+    return multiplier_sweep(
+        alexnet_bundle["model"],
+        alexnet_bundle["victims"],
+        get_attack(attack_key),
+        alexnet_bundle["x"],
+        alexnet_bundle["y"],
+        EPSILONS,
+        "synthetic-cifar10",
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_cr_l2(benchmark, alexnet_bundle):
+    """Fig. 7a: contrast reduction on AlexNet: mild, slightly worse for AxDNNs."""
+    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "CR_l2"), rounds=1, iterations=1)
+    report_grid("fig7a_cr_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, alexnet_paper_grid("CR_l2")
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_rag_l2(benchmark, alexnet_bundle):
+    """Fig. 7b: repeated additive Gaussian noise on AlexNet is mild."""
+    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAG_l2"), rounds=1, iterations=1)
+    report_grid("fig7b_rag_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, alexnet_paper_grid("RAG_l2")
+    )
+    assert grid.accuracy_loss().max() <= 30.0
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_rau_l2(benchmark, alexnet_bundle):
+    """Fig. 7c: l2 repeated uniform noise on AlexNet is mild."""
+    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAU_l2"), rounds=1, iterations=1)
+    report_grid("fig7c_rau_l2", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, alexnet_paper_grid("RAU_l2")
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7d_rau_linf(benchmark, alexnet_bundle):
+    """Fig. 7d: linf repeated uniform noise collapses AlexNet at large budgets."""
+    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAU_linf"), rounds=1, iterations=1)
+    report_grid("fig7d_rau_linf", grid, benchmark.extra_info)
+    benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
+        grid, alexnet_paper_grid("RAU_linf")
+    )
+    assert grid.row(2.0).mean() <= grid.row(0.0).mean()

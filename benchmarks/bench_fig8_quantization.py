@@ -1,0 +1,45 @@
+"""Figure 8 — quantized vs non-quantized accurate LeNet-5 under all ten attacks.
+
+The paper's Section IV.D conclusion: 8-bit fixed-point quantization improves
+(or at least preserves) the adversarial robustness of the accurate DNN,
+whereas adding approximation on top of quantization (Figures 4-6) takes the
+benefit away.
+"""
+
+import pytest
+
+from benchmarks.conftest import EPSILONS, save_payload
+from repro.attacks import available_attacks, get_attack
+from repro.robustness import quantization_study
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_quantized_vs_float(benchmark, lenet_bundle):
+    """Run the full ten-attack quantization study of Fig. 8."""
+    attacks = [get_attack(key) for key in available_attacks()]
+
+    def run():
+        return quantization_study(
+            lenet_bundle["model"],
+            attacks,
+            lenet_bundle["x"],
+            lenet_bundle["y"],
+            EPSILONS,
+            lenet_bundle["calibration"],
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    payload = study.to_dict()
+    payload["mean_quantization_gain"] = study.mean_quantization_gain()
+    save_payload("fig8_quantization_study", payload)
+    print()
+    for key, comparison in sorted(study.comparisons.items()):
+        print(
+            f"{key:10s} float -> quantized robustness at eps=0.2: "
+            f"{comparison.float_robustness[4]:5.1f}% -> "
+            f"{comparison.quantized_robustness[4]:5.1f}%"
+        )
+    print(f"mean quantization gain: {study.mean_quantization_gain():.2f} points")
+    benchmark.extra_info["mean_quantization_gain"] = study.mean_quantization_gain()
+    # quantization must not systematically destroy robustness (paper: it helps)
+    assert study.mean_quantization_gain() >= -5.0

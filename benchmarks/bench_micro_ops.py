@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the computational kernels.
+
+Not a paper figure — these measure the throughput of the substrate the
+reproduction runs on (LUT-multiplied matrix products, quantized convolutions,
+attack-gradient computation), which is what bounds every sweep above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import get_attack
+from repro.axnn.approx_ops import approx_matmul, exact_matmul
+from repro.multipliers import get_multiplier
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lut_matmul(benchmark):
+    """Throughput of the LUT-gather integer matmul (128 x 256 @ 256 x 64)."""
+    lut = get_multiplier("M4").lut()
+    a = RNG.integers(0, 256, size=(128, 256))
+    w = RNG.integers(-255, 256, size=(256, 64))
+    sign, magnitude = np.sign(w), np.abs(w)
+    result = benchmark(lambda: approx_matmul(a, sign, magnitude, lut))
+    assert result.shape == (128, 64)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_exact_int_matmul(benchmark):
+    """Throughput of the exact integer fast path on the same operands."""
+    a = RNG.integers(0, 256, size=(128, 256))
+    w = RNG.integers(-255, 256, size=(256, 64))
+    sign, magnitude = np.sign(w), np.abs(w)
+    result = benchmark(lambda: exact_matmul(a, sign, magnitude))
+    assert result.shape == (128, 64)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lut_construction(benchmark):
+    """Cost of building a circuit-backed 256x256 multiplier LUT from scratch."""
+    def build():
+        multiplier = get_multiplier("mul8u_L40")
+        multiplier.clear_cache()
+        return multiplier.lut()
+
+    lut = benchmark(build)
+    assert lut.shape == (256, 256)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_axdnn_inference(benchmark, lenet_bundle):
+    """Per-batch latency of approximate LeNet-5 inference (16 images)."""
+    victim = lenet_bundle["victims"]["M4"]
+    x = lenet_bundle["x"][:16]
+    logits = benchmark(lambda: victim.predict(x))
+    assert logits.shape == (16, 10)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_attack_gradient(benchmark, lenet_bundle):
+    """Per-batch latency of one FGM gradient computation on the float model."""
+    attack = get_attack("FGM_linf")
+    model = lenet_bundle["model"]
+    x = lenet_bundle["x"][:16]
+    y = lenet_bundle["y"][:16]
+    adv = benchmark(lambda: attack.generate(model, x, y, 0.1))
+    assert adv.shape == x.shape

@@ -1,0 +1,48 @@
+"""Table I — the attack taxonomy (attack name, type, distance metric).
+
+This benchmark validates that the attack registry reproduces the paper's
+Table I exactly and measures the cost of generating adversarial examples for
+each attack (a useful at-a-glance comparison of gradient vs decision attack
+cost).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_payload
+from repro.attacks import attack_table, available_attacks, get_attack
+
+#: the paper's Table I: (short name, norm) -> attack type
+PAPER_TABLE1 = {
+    ("FGM", "l2"): "gradient",
+    ("FGM", "linf"): "gradient",
+    ("BIM", "l2"): "gradient",
+    ("BIM", "linf"): "gradient",
+    ("PGD", "l2"): "gradient",
+    ("PGD", "linf"): "gradient",
+    ("CR", "l2"): "decision",
+    ("RAG", "l2"): "decision",
+    ("RAU", "l2"): "decision",
+    ("RAU", "linf"): "decision",
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_attack_registry(benchmark, lenet_bundle):
+    """Check the registry against Table I and time one generation per attack."""
+    metadata = {(m.short_name, m.norm): m.attack_type for m in attack_table()}
+    assert metadata == PAPER_TABLE1
+    save_payload(
+        "table1_attacks",
+        {f"{short}_{norm}": kind for (short, norm), kind in metadata.items()},
+    )
+
+    x = lenet_bundle["x"][:16]
+    y = lenet_bundle["y"][:16]
+    model = lenet_bundle["model"]
+
+    def generate_all():
+        for key in available_attacks():
+            get_attack(key).generate(model, x, y, 0.1)
+
+    benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    benchmark.extra_info["attacks"] = available_attacks()

@@ -1,0 +1,135 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+trained accurate models are cached on disk (see ``repro.models.zoo``), so the
+first benchmark run pays the training cost once and later runs only pay for
+adversarial-example generation and AxDNN inference.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SAMPLES``
+    Number of MNIST-like test images evaluated per grid cell (default 60).
+``REPRO_BENCH_SAMPLES_CIFAR``
+    Number of CIFAR-like test images per cell (default 32).
+``REPRO_BENCH_TRAIN``
+    Training-set size for the accurate models (default 1500).
+``REPRO_BENCH_EPOCHS``
+    Training epochs for the accurate models (default 4).
+
+The measured grids are also written as JSON to ``benchmarks/results/`` so the
+paper-vs-measured record in EXPERIMENTS.md can be regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_robustness_grid
+from repro.attacks import PAPER_EPSILONS
+from repro.models.zoo import trained_alexnet, trained_ffnn, trained_lenet5
+from repro.robustness import RobustnessGrid, build_victims
+
+#: directory where benchmark result grids are dumped
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+N_MNIST_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "60"))
+N_CIFAR_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES_CIFAR", "32"))
+N_TRAIN = int(os.environ.get("REPRO_BENCH_TRAIN", "1500"))
+N_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "4"))
+
+#: the full epsilon sweep used by every figure of the paper
+EPSILONS: List[float] = list(PAPER_EPSILONS)
+
+#: paper labels of the LeNet-5 and AlexNet multiplier sets
+LENET_LABELS = [f"M{i}" for i in range(1, 10)]
+ALEXNET_LABELS = [f"A{i}" for i in range(1, 9)]
+
+
+def save_grid(name: str, grid: RobustnessGrid) -> None:
+    """Persist a measured grid (JSON) under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(grid.to_dict(), handle, indent=2)
+
+
+def save_payload(name: str, payload: dict) -> None:
+    """Persist an arbitrary JSON payload under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def report_grid(name: str, grid: RobustnessGrid, extra_info: Dict) -> None:
+    """Print the grid, persist it and attach summary numbers to the benchmark."""
+    print()
+    print(format_robustness_grid(grid, title=name))
+    save_grid(name, grid)
+    extra_info[f"{name}_baseline"] = grid.baseline_row().tolist()
+    extra_info[f"{name}_final_row"] = grid.values[-1, :].tolist()
+
+
+@pytest.fixture(scope="session")
+def lenet_bundle():
+    """Trained accurate LeNet-5 (AccL5), its dataset, victims and eval split."""
+    trained = trained_lenet5(n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS, seed=0)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    victims = build_victims(trained.model, LENET_LABELS, calibration)
+    x = dataset.test.images[:N_MNIST_SAMPLES]
+    y = dataset.test.labels[:N_MNIST_SAMPLES]
+    return {
+        "trained": trained,
+        "model": trained.model,
+        "dataset": dataset,
+        "calibration": calibration,
+        "victims": victims,
+        "x": x,
+        "y": y,
+    }
+
+
+@pytest.fixture(scope="session")
+def alexnet_bundle():
+    """Trained accurate AlexNet (AccAlx), its dataset, victims and eval split."""
+    trained = trained_alexnet(
+        n_train=max(N_TRAIN // 2, 400), n_test=200, epochs=N_EPOCHS + 2, seed=0
+    )
+    dataset = trained.dataset
+    calibration = dataset.train.images[:96]
+    victims = build_victims(trained.model, ALEXNET_LABELS, calibration)
+    x = dataset.test.images[:N_CIFAR_SAMPLES]
+    y = dataset.test.labels[:N_CIFAR_SAMPLES]
+    return {
+        "trained": trained,
+        "model": trained.model,
+        "dataset": dataset,
+        "calibration": calibration,
+        "victims": victims,
+        "x": x,
+        "y": y,
+    }
+
+
+@pytest.fixture(scope="session")
+def ffnn_bundle():
+    """Trained accurate FFNN for the motivational case study (Fig. 1)."""
+    trained = trained_ffnn(n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS, seed=0)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    x = dataset.test.images[:N_MNIST_SAMPLES]
+    y = dataset.test.labels[:N_MNIST_SAMPLES]
+    return {
+        "trained": trained,
+        "model": trained.model,
+        "dataset": dataset,
+        "calibration": calibration,
+        "x": x,
+        "y": y,
+    }

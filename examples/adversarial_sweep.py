@@ -1,0 +1,64 @@
+"""Adversarial approximation analysis: a miniature of the paper's Figure 4/5.
+
+Sweeps a chosen attack over the full perturbation-budget range and the whole
+LeNet-5 multiplier set (M1..M9), prints the resulting robustness heat-map and
+compares its shape against the digitised grid from the paper.
+
+Run:  python examples/adversarial_sweep.py --attack PGD_linf --samples 60
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    compare_with_paper_grid,
+    format_robustness_grid,
+    lenet_paper_grid,
+)
+from repro.attacks import PAPER_EPSILONS, get_attack
+from repro.models import trained_lenet5
+from repro.robustness import build_victims, multiplier_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attack", default="BIM_linf", help="attack registry key")
+    parser.add_argument("--samples", type=int, default=60)
+    parser.add_argument(
+        "--multipliers",
+        default="M1,M2,M3,M4,M5,M6,M7,M8,M9",
+        help="comma-separated paper labels",
+    )
+    args = parser.parse_args()
+
+    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    labels = args.multipliers.split(",")
+    victims = build_victims(trained.model, labels, calibration)
+
+    grid = multiplier_sweep(
+        trained.model,
+        victims,
+        get_attack(args.attack),
+        dataset.test.images[: args.samples],
+        dataset.test.labels[: args.samples],
+        PAPER_EPSILONS,
+        dataset_name=dataset.name,
+    )
+    print(format_robustness_grid(grid, title=f"measured: {args.attack}"))
+
+    try:
+        paper = lenet_paper_grid(args.attack)
+    except KeyError:
+        print(f"\n(no digitised paper grid for {args.attack})")
+        return
+    comparison = compare_with_paper_grid(grid, paper)
+    print("\nshape comparison against the paper grid:")
+    for key, value in comparison.items():
+        print(f"  {key}: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Energy / accuracy / robustness trade-off of the approximate multipliers.
+
+The motivation for AxDNNs is energy efficiency; the paper's warning is that
+the energy saving can come with a hidden robustness cost.  This example puts
+the three quantities side by side for the LeNet-5 multiplier set: per-MAC
+energy saving, clean accuracy, and accuracy under a fixed adversarial attack.
+
+Run:  python examples/energy_accuracy_tradeoff.py --attack BIM_linf --epsilon 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks import get_attack
+from repro.models import build_lenet5, multiply_counts, trained_lenet5
+from repro.multipliers import (
+    energy_per_mac_pj,
+    energy_saving_percent,
+    error_report,
+)
+from repro.robustness import AdversarialSuite, build_victims
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attack", default="BIM_linf")
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--samples", type=int, default=60)
+    args = parser.parse_args()
+
+    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    labels = [f"M{i}" for i in range(1, 10)]
+    victims = build_victims(trained.model, labels, calibration)
+
+    x = dataset.test.images[: args.samples]
+    y = dataset.test.labels[: args.samples]
+    suite = AdversarialSuite.generate(
+        trained.model, get_attack(args.attack), x, y, [0.0, args.epsilon]
+    )
+
+    macs = sum(multiply_counts(build_lenet5()))
+    print(
+        f"LeNet-5 performs {macs:,} multiplications per inference; "
+        f"attack = {args.attack} at eps = {args.epsilon}\n"
+    )
+    header = (
+        f"{'label':>5} {'multiplier':>14} {'MAE%':>7} {'pJ/MAC':>7} "
+        f"{'saving%':>8} {'clean%':>7} {'attacked%':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label in labels:
+        victim = victims[label]
+        name = victim.multiplier.name
+        report = error_report(victim.multiplier)
+        results = suite.evaluate(victim, label)
+        clean = results[0].robustness_percent
+        attacked = results[1].robustness_percent
+        print(
+            f"{label:>5} {name:>14} {report.mae_percent:>7.3f} "
+            f"{energy_per_mac_pj(name):>7.3f} {energy_saving_percent(name):>8.1f} "
+            f"{clean:>7.1f} {attacked:>10.1f}"
+        )
+
+    print(
+        "\nReading guide: moving down the energy-saving column is the reason to"
+        " adopt approximation; the last column is the robustness price the"
+        " paper warns about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quantization vs approximation under attack (the paper's Fig. 8 + Section IV.D).
+
+Compares three inference configurations of the same trained LeNet-5 under a
+chosen attack:
+
+* the float accurate model,
+* its 8-bit quantized version (quantization alone), and
+* an AxDNN (quantization + an approximate multiplier).
+
+The paper's conclusion — quantization improves robustness, approximation
+takes the improvement back — corresponds to the quantized curve sitting on or
+above the float curve, and the AxDNN curve sitting below both.
+
+Run:  python examples/quantization_vs_approximation.py --attack PGD_linf
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import get_attack
+from repro.axnn import build_axdnn, build_quantized_accurate
+from repro.models import trained_lenet5
+from repro.robustness import AdversarialSuite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--attack", default="PGD_linf")
+    parser.add_argument("--multiplier", default="M8")
+    parser.add_argument("--samples", type=int, default=60)
+    parser.add_argument(
+        "--epsilons", default="0,0.05,0.1,0.15,0.2,0.25,0.5", help="comma-separated budgets"
+    )
+    args = parser.parse_args()
+
+    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    x = dataset.test.images[: args.samples]
+    y = dataset.test.labels[: args.samples]
+    epsilons = [float(value) for value in args.epsilons.split(",")]
+
+    quantized = build_quantized_accurate(trained.model, calibration)
+    approximate = build_axdnn(trained.model, args.multiplier, calibration)
+
+    suite = AdversarialSuite.generate(trained.model, get_attack(args.attack), x, y, epsilons)
+    float_curve = [r.robustness_percent for r in suite.evaluate(trained.model, "float")]
+    quant_curve = [r.robustness_percent for r in suite.evaluate(quantized, "quantized")]
+    approx_curve = [r.robustness_percent for r in suite.evaluate(approximate, "axdnn")]
+
+    print(f"attack: {args.attack}, AxDNN multiplier: {approximate.multiplier.name}")
+    header = f"{'eps':>6} {'float':>8} {'quantized':>10} {'AxDNN':>8}"
+    print(header)
+    print("-" * len(header))
+    for eps, f_val, q_val, a_val in zip(epsilons, float_curve, quant_curve, approx_curve):
+        print(f"{eps:>6.2f} {f_val:>8.1f} {q_val:>10.1f} {a_val:>8.1f}")
+
+    gain = float(np.mean(np.array(quant_curve) - np.array(float_curve)))
+    loss = float(np.mean(np.array(quant_curve) - np.array(approx_curve)))
+    print(f"\nmean robustness gain of quantization over float: {gain:+.1f} points")
+    print(f"mean robustness given back by approximation:      {loss:+.1f} points")
+
+
+if __name__ == "__main__":
+    main()

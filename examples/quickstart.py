@@ -1,0 +1,69 @@
+"""Quickstart: train an accurate DNN, build an AxDNN, attack both.
+
+This walks through the paper's full methodology (Fig. 3) in one script:
+
+1. train the accurate LeNet-5 on the synthetic MNIST substitute;
+2. quantize it to 8-bit fixed point (the "quantized accurate DNN") and build
+   an approximate version (AxDNN) with an EvoApprox-style multiplier;
+3. craft adversarial examples on the accurate float model;
+4. report the percentage robustness of every victim.
+
+Run:  python examples/quickstart.py  [--samples 60] [--multiplier M8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks import get_attack
+from repro.models import trained_lenet5
+from repro.multipliers import error_report, get_multiplier
+from repro.robustness import build_victims, multiplier_sweep
+from repro.analysis import format_robustness_grid
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=60, help="test images to evaluate")
+    parser.add_argument("--multiplier", default="M8", help="paper label or library name")
+    parser.add_argument("--attack", default="BIM_linf", help="attack registry key")
+    parser.add_argument(
+        "--epsilons", default="0,0.05,0.1,0.25,0.5", help="comma-separated budgets"
+    )
+    args = parser.parse_args()
+
+    print("== 1. training the accurate LeNet-5 (cached after the first run) ==")
+    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    print(f"clean test accuracy of AccL5: {trained.baseline_accuracy_percent:.1f}%")
+
+    print("\n== 2. building the quantized accurate DNN and the AxDNN ==")
+    multiplier = get_multiplier(args.multiplier)
+    report = error_report(multiplier)
+    print(
+        f"multiplier {multiplier.name}: MAE = {report.mae_percent:.3f}%, "
+        f"worst-case error = {report.wce_percent:.2f}%"
+    )
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    victims = build_victims(trained.model, ["M1", args.multiplier], calibration)
+
+    print("\n== 3./4. attacking and evaluating percentage robustness ==")
+    epsilons = [float(value) for value in args.epsilons.split(",")]
+    grid = multiplier_sweep(
+        trained.model,
+        victims,
+        get_attack(args.attack),
+        dataset.test.images[: args.samples],
+        dataset.test.labels[: args.samples],
+        epsilons,
+        dataset_name=dataset.name,
+    )
+    print(format_robustness_grid(grid, title=f"{args.attack} robustness [%]"))
+    print(
+        "\ncolumns: M1 = 8-bit quantized accurate DNN, "
+        f"{args.multiplier} = AxDNN with {multiplier.name}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,290 @@
+"""Digitised result grids from the original paper.
+
+Figures 4-7 of the paper print the percentage-robustness values of every
+(multiplier, perturbation budget) cell; this module transcribes them so that
+the reproduction can be compared quantitatively against the original
+(trend/shape comparisons in :mod:`repro.analysis.experiments`, and the
+paper-vs-measured tables in EXPERIMENTS.md).
+
+All grids have perturbation budgets on the rows (``PAPER_EPSILONS`` order)
+and multipliers on the columns (M1..M9 for the LeNet-5 set, the eight-entry
+set for AlexNet).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+#: perturbation budgets used by every figure in the paper
+PAPER_EPSILONS: List[float] = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1.0, 1.5, 2.0]
+
+#: LeNet-5 / MNIST multiplier labels (paper order M1..M9)
+LENET_LABELS: List[str] = ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9"]
+
+#: AlexNet / CIFAR-10 multiplier labels (paper order)
+ALEXNET_LABELS: List[str] = ["A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"]
+
+# --------------------------------------------------------------------------
+# Figure 4: LeNet-5 / MNIST under BIM and FGM
+# --------------------------------------------------------------------------
+
+FIG4A_BIM_LINF = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [97, 96, 96, 93, 94, 73, 92, 84, 74],
+    [93, 90, 90, 85, 85, 70, 83, 71, 72],
+    [77, 72, 77, 71, 75, 67, 63, 45, 77],
+    [54, 50, 56, 51, 56, 49, 40, 23, 25],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+], dtype=np.float64)
+
+FIG4B_BIM_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 97, 91, 95, 90, 93],
+    [98, 98, 98, 96, 96, 91, 95, 90, 92],
+    [98, 98, 98, 96, 96, 90, 95, 90, 91],
+    [98, 97, 97, 96, 96, 90, 95, 89, 89],
+    [97, 96, 97, 94, 95, 88, 93, 87, 84],
+    [94, 92, 93, 88, 90, 80, 86, 77, 75],
+    [86, 82, 83, 77, 81, 70, 75, 64, 64],
+    [69, 65, 68, 62, 66, 57, 58, 48, 49],
+], dtype=np.float64)
+
+FIG4C_FGM_LINF = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [97, 97, 96, 94, 94, 87, 93, 86, 71],
+    [94, 93, 93, 87, 87, 73, 88, 79, 77],
+    [89, 86, 86, 76, 79, 70, 78, 65, 83],
+    [77, 75, 73, 60, 68, 53, 65, 52, 41],
+    [61, 59, 57, 42, 49, 34, 59, 41, 53],
+    [11, 12, 12, 12, 12, 12, 10, 12, 10],
+    [10, 10, 11, 12, 12, 12, 9, 11, 9],
+    [10, 10, 11, 12, 12, 12, 9, 11, 9],
+    [10, 10, 11, 12, 12, 12, 9, 11, 9],
+], dtype=np.float64)
+
+FIG4D_FGM_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 95, 90, 93],
+    [98, 98, 98, 96, 96, 91, 95, 90, 93],
+    [98, 98, 98, 96, 96, 90, 95, 90, 98],
+    [98, 98, 98, 96, 96, 90, 95, 89, 98],
+    [98, 97, 97, 95, 96, 89, 94, 88, 97],
+    [96, 95, 95, 92, 83, 84, 97, 83, 81],
+    [94, 92, 92, 87, 89, 78, 86, 76, 73],
+    [89, 97, 87, 79, 82, 71, 80, 70, 65],
+], dtype=np.float64)
+
+# --------------------------------------------------------------------------
+# Figure 5: LeNet-5 / MNIST under PGD and RAU
+# --------------------------------------------------------------------------
+
+FIG5A_PGD_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 97, 91, 96, 90, 93],
+    [98, 98, 98, 96, 97, 91, 95, 90, 91],
+    [98, 99, 98, 96, 96, 91, 95, 90, 90],
+    [98, 98, 97, 96, 96, 90, 95, 89, 88],
+    [98, 97, 97, 95, 95, 88, 94, 87, 85],
+    [95, 94, 94, 90, 92, 83, 89, 80, 80],
+    [91, 88, 88, 82, 86, 74, 81, 68, 69],
+    [81, 77, 78, 71, 75, 64, 70, 55, 57],
+], dtype=np.float64)
+
+FIG5B_PGD_LINF = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [97, 96, 96, 93, 94, 87, 92, 85, 70],
+    [93, 91, 91, 86, 86, 72, 84, 72, 74],
+    [80, 75, 79, 72, 76, 69, 66, 45, 73],
+    [59, 54, 59, 53, 59, 51, 44, 24, 32],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+], dtype=np.float64)
+
+FIG5C_RAU_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 97, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 99, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+], dtype=np.float64)
+
+FIG5D_RAU_LINF = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 97, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 99, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [95, 92, 91, 84, 86, 78, 89, 82, 77],
+    [48, 38, 28, 14, 18, 13, 33, 18, 18],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0, 0],
+], dtype=np.float64)
+
+# --------------------------------------------------------------------------
+# Figure 6: LeNet-5 / MNIST under CR and RAG
+# --------------------------------------------------------------------------
+
+FIG6A_CR_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 94],
+    [98, 99, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 97, 97, 92, 96, 90, 89],
+    [98, 98, 98, 96, 97, 91, 96, 90, 97],
+    [98, 98, 98, 96, 97, 88, 95, 88, 77],
+    [98, 98, 98, 96, 96, 90, 95, 87, 45],
+    [98, 98, 97, 96, 96, 88, 94, 84, 51],
+], dtype=np.float64)
+
+FIG6B_RAG_L2 = np.array([
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 99, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+    [98, 98, 98, 96, 96, 91, 96, 90, 93],
+], dtype=np.float64)
+
+# --------------------------------------------------------------------------
+# Figure 7: AlexNet / CIFAR-10 under CR, RAG and RAU
+# --------------------------------------------------------------------------
+
+FIG7A_CR_L2 = np.array([
+    [80, 80, 80, 79, 80, 78, 80, 79],
+    [80, 80, 80, 79, 80, 78, 80, 79],
+    [80, 80, 79, 79, 80, 78, 80, 79],
+    [80, 80, 78, 79, 80, 78, 80, 79],
+    [80, 80, 76, 79, 80, 78, 80, 79],
+    [80, 80, 74, 79, 80, 78, 80, 78],
+    [79, 79, 80, 79, 80, 78, 80, 78],
+    [77, 77, 80, 79, 79, 78, 79, 77],
+    [75, 75, 80, 78, 77, 77, 77, 76],
+    [73, 73, 80, 76, 75, 76, 76, 75],
+], dtype=np.float64)
+
+FIG7B_RAG_L2 = np.array([
+    [80, 80, 80, 79, 80, 78, 80, 79],
+    [80, 80, 80, 79, 80, 78, 80, 79],
+    [79, 80, 80, 79, 80, 78, 80, 79],
+    [79, 80, 80, 79, 80, 78, 80, 79],
+    [79, 80, 80, 79, 80, 78, 80, 79],
+    [79, 80, 80, 79, 80, 78, 80, 79],
+    [79, 79, 80, 79, 80, 78, 80, 79],
+    [79, 77, 78, 79, 79, 78, 79, 77],
+    [79, 75, 76, 78, 77, 77, 77, 76],
+    [73, 73, 74, 76, 75, 76, 76, 75],
+], dtype=np.float64)
+
+FIG7C_RAU_L2 = np.array([
+    [80, 80, 80, 79, 80, 78, 78, 79],
+    [80, 80, 80, 79, 80, 78, 78, 79],
+    [80, 80, 80, 79, 80, 78, 78, 79],
+    [80, 80, 80, 79, 80, 78, 78, 79],
+    [80, 80, 80, 79, 80, 78, 78, 79],
+    [80, 80, 80, 79, 80, 78, 78, 78],
+    [79, 79, 80, 79, 80, 78, 78, 78],
+    [77, 77, 78, 79, 79, 77, 77, 78],
+    [75, 75, 76, 78, 78, 77, 77, 77],
+    [73, 73, 74, 76, 76, 76, 75, 75],
+], dtype=np.float64)
+
+FIG7D_RAU_LINF = np.array([
+    [80, 80, 80, 79, 80, 78, 80, 79],
+    [74, 74, 75, 77, 76, 76, 77, 76],
+    [67, 67, 68, 72, 70, 73, 70, 71],
+    [57, 58, 59, 64, 62, 66, 62, 64],
+    [47, 47, 49, 55, 52, 58, 54, 56],
+    [37, 37, 40, 47, 43, 50, 43, 43],
+    [8, 8, 10, 17, 12, 22, 13, 24],
+    [0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0],
+    [0, 0, 0, 0, 0, 0, 0, 0],
+], dtype=np.float64)
+
+# --------------------------------------------------------------------------
+# Table II: transferability of the linf BIM attack (eps = 0.05)
+# --------------------------------------------------------------------------
+
+#: (source, victim, dataset) -> (accuracy before, accuracy after)
+TABLE2_TRANSFERABILITY: Dict[tuple, tuple] = {
+    ("AccL5", "AxL5", "MNIST"): (98.0, 97.0),
+    ("AccL5", "AxAlx", "MNIST"): (67.0, 43.0),
+    ("AccL5", "AxL5", "CIFAR-10"): (54.0, 9.0),
+    ("AccL5", "AxAlx", "CIFAR-10"): (53.0, 4.0),
+    ("AccAlx", "AxL5", "MNIST"): (98.0, 9.0),
+    ("AccAlx", "AxAlx", "MNIST"): (67.0, 11.0),
+    ("AccAlx", "AxL5", "CIFAR-10"): (54.0, 20.0),
+    ("AccAlx", "AxAlx", "CIFAR-10"): (53.0, 10.0),
+}
+
+#: grids of the LeNet-5 figures keyed by (figure panel, attack key)
+LENET_FIGURES: Dict[str, np.ndarray] = {
+    "fig4a:BIM_linf": FIG4A_BIM_LINF,
+    "fig4b:BIM_l2": FIG4B_BIM_L2,
+    "fig4c:FGM_linf": FIG4C_FGM_LINF,
+    "fig4d:FGM_l2": FIG4D_FGM_L2,
+    "fig5a:PGD_l2": FIG5A_PGD_L2,
+    "fig5b:PGD_linf": FIG5B_PGD_LINF,
+    "fig5c:RAU_l2": FIG5C_RAU_L2,
+    "fig5d:RAU_linf": FIG5D_RAU_LINF,
+    "fig6a:CR_l2": FIG6A_CR_L2,
+    "fig6b:RAG_l2": FIG6B_RAG_L2,
+}
+
+#: grids of the AlexNet figures keyed by (figure panel, attack key)
+ALEXNET_FIGURES: Dict[str, np.ndarray] = {
+    "fig7a:CR_l2": FIG7A_CR_L2,
+    "fig7b:RAG_l2": FIG7B_RAG_L2,
+    "fig7c:RAU_l2": FIG7C_RAU_L2,
+    "fig7d:RAU_linf": FIG7D_RAU_LINF,
+}
+
+#: headline numbers quoted in the abstract / Section IV
+HEADLINE_CLAIMS = {
+    # l2 CR attack at eps = 1.5: 53% accuracy loss in the M8 AxDNN, near-zero
+    # loss (0.06%) in the accurate DNN
+    "cr_attack_axdnn_loss_percent": 53.0,
+    "cr_attack_accurate_loss_percent": 0.06,
+    # baseline (clean) accuracies of the accurate models
+    "accurate_lenet5_accuracy": 98.0,
+    "accurate_alexnet_accuracy": 81.0,
+}
+
+
+def lenet_paper_grid(attack_key: str) -> np.ndarray:
+    """Return the paper's LeNet-5 grid for an attack key (e.g. ``"BIM_linf"``)."""
+    for key, grid in LENET_FIGURES.items():
+        if key.split(":", 1)[1] == attack_key:
+            return grid
+    raise KeyError(f"no LeNet-5 paper grid for attack {attack_key!r}")
+
+
+def alexnet_paper_grid(attack_key: str) -> np.ndarray:
+    """Return the paper's AlexNet grid for an attack key (e.g. ``"RAU_linf"``)."""
+    for key, grid in ALEXNET_FIGURES.items():
+        if key.split(":", 1)[1] == attack_key:
+            return grid
+    raise KeyError(f"no AlexNet paper grid for attack {attack_key!r}")

@@ -1,0 +1,102 @@
+"""ASCII rendering of robustness grids and comparison tables.
+
+The paper presents its results as heat-map tables (Figures 4-7); these
+helpers render :class:`repro.robustness.sweep.RobustnessGrid` objects — and
+raw NumPy grids such as the digitised paper data — in the same row/column
+layout for terminals and the EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.robustness.sweep import RobustnessGrid
+
+
+def format_grid(
+    values: np.ndarray,
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    title: Optional[str] = None,
+    cell_width: int = 5,
+    float_format: str = "{:.0f}",
+) -> str:
+    """Render a 2-D array as an aligned ASCII table."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (len(row_labels), len(column_labels)):
+        raise ShapeError(
+            f"values shape {values.shape} does not match labels "
+            f"({len(row_labels)}, {len(column_labels)})"
+        )
+    label_width = max((len(str(label)) for label in row_labels), default=4) + 2
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + "".join(
+        f"{str(label):>{cell_width}}" for label in column_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_index, row_label in enumerate(row_labels):
+        cells = "".join(
+            f"{float_format.format(value):>{cell_width}}"
+            for value in values[row_index]
+        )
+        lines.append(f"{str(row_label):<{label_width}}" + cells)
+    return "\n".join(lines)
+
+
+def format_robustness_grid(grid: RobustnessGrid, title: Optional[str] = None) -> str:
+    """Render a robustness grid in the paper's figure layout (eps rows, multiplier columns)."""
+    heading = title or f"{grid.attack_key} on {grid.dataset_name}"
+    row_labels = [f"{eps:.2f}" for eps in grid.epsilons]
+    return format_grid(grid.values, row_labels, grid.victim_labels, title=heading)
+
+
+def format_comparison(
+    measured: RobustnessGrid,
+    reference: np.ndarray,
+    reference_name: str = "paper",
+) -> str:
+    """Render measured and reference grids side by side (same layout)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    row_labels = [f"{eps:.2f}" for eps in measured.epsilons]
+    measured_text = format_grid(
+        measured.values, row_labels, measured.victim_labels, title="measured"
+    )
+    if reference.shape[0] != len(measured.epsilons):
+        raise ShapeError(
+            f"reference grid has {reference.shape[0]} rows, expected "
+            f"{len(measured.epsilons)}"
+        )
+    reference_text = format_grid(
+        reference,
+        row_labels,
+        measured.victim_labels[: reference.shape[1]],
+        title=reference_name,
+    )
+    return measured_text + "\n\n" + reference_text
+
+
+def format_transfer_table(cells, datasets: Sequence[str], victims: Sequence[str]) -> str:
+    """Render a transferability table in the paper's Table II layout."""
+    sources = sorted({cell.source for cell in cells})
+    header = ["source"] + [f"{dataset}:{victim}" for dataset in datasets for victim in victims]
+    lines = ["  ".join(f"{item:>12}" for item in header)]
+    for source in sources:
+        row = [source]
+        for dataset in datasets:
+            for victim in victims:
+                match = [
+                    cell
+                    for cell in cells
+                    if cell.source == source
+                    and cell.victim == victim
+                    and cell.dataset == dataset
+                ]
+                row.append(match[0].as_paper_cell() if match else "-")
+        lines.append("  ".join(f"{item:>12}" for item in row))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Attack interface and shared plumbing.
+
+Following the paper's threat model (Section II), every attack is generated on
+the *source* model — the accurate float DNN — and later evaluated on a victim
+(the quantized accurate DNN or an AxDNN).  An attack therefore only needs the
+source model: gradient attacks use its input gradients; decision attacks use
+its predicted labels to decide when a noise sample is already adversarial.
+
+Perturbation budgets (epsilon) follow the Foolbox convention: they are
+expressed in the input scale ([0, 1] images) and bound the attack's norm
+(linf or l2).  ``epsilon = 0`` returns the unmodified images.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.model import Sequential
+
+#: valid image range used throughout the paper's datasets
+PIXEL_MIN = 0.0
+PIXEL_MAX = 1.0
+
+GRADIENT = "gradient"
+DECISION = "decision"
+
+
+@dataclass(frozen=True)
+class AttackMetadata:
+    """Descriptive metadata of an attack (used to reproduce Table I)."""
+
+    name: str
+    short_name: str
+    attack_type: str
+    norm: str
+
+
+class Attack(ABC):
+    """Base class for adversarial attacks."""
+
+    #: full attack name, e.g. "Basic Iterative Method"
+    name: str = "attack"
+    #: short name used by the paper, e.g. "BIM"
+    short_name: str = "ATT"
+    #: "gradient" or "decision"
+    attack_type: str = GRADIENT
+    #: "l2" or "linf"
+    norm: str = "linf"
+
+    def __init__(self) -> None:
+        self._loss = CrossEntropyLoss()
+
+    # ------------------------------------------------------------------ API
+    def generate(
+        self,
+        model: Sequential,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Craft adversarial examples within the given perturbation budget."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"images and labels disagree on sample count: {images.shape[0]} vs "
+                f"{labels.shape[0]}"
+            )
+        if epsilon < 0:
+            raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
+        if epsilon == 0:
+            return images.copy()
+        adversarial = self._run(model, images, labels, float(epsilon))
+        return np.clip(adversarial, PIXEL_MIN, PIXEL_MAX)
+
+    @abstractmethod
+    def _run(
+        self,
+        model: Sequential,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epsilon: float,
+    ) -> np.ndarray:
+        """Attack implementation (epsilon > 0; output clipped by the caller)."""
+
+    # ----------------------------------------------------------- utilities
+    def metadata(self) -> AttackMetadata:
+        """Metadata record of this attack."""
+        return AttackMetadata(
+            name=self.name,
+            short_name=self.short_name,
+            attack_type=self.attack_type,
+            norm=self.norm,
+        )
+
+    def key(self) -> str:
+        """Registry key, e.g. ``"BIM_linf"``."""
+        return f"{self.short_name}_{self.norm}"
+
+    def _gradient(
+        self, model: Sequential, images: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Input gradient of the classification loss on the source model."""
+        return model.input_gradient(images, labels, self._loss)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(norm={self.norm!r})"
+
+
+def predicted_labels(model: Sequential, images: np.ndarray) -> np.ndarray:
+    """Labels predicted by the source model (used by decision attacks)."""
+    return model.predict_classes(images)

@@ -1,0 +1,69 @@
+"""Basic Iterative Method (BIM), the iterative extension of FGM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import GRADIENT, PIXEL_MAX, PIXEL_MIN, Attack
+from repro.attacks.distances import normalize_l2, project_l2_ball, project_linf_ball
+from repro.errors import ConfigurationError
+
+
+class BIMLinf(Attack):
+    """Iterative linf FGM with projection onto the eps-ball after every step."""
+
+    name = "Basic Iterative Method"
+    short_name = "BIM"
+    attack_type = GRADIENT
+    norm = "linf"
+
+    def __init__(self, steps: int = 10, step_size_factor: float = 0.2) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        if step_size_factor <= 0:
+            raise ConfigurationError(
+                f"step_size_factor must be positive, got {step_size_factor}"
+            )
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+
+    def _run(self, model, images, labels, epsilon):
+        step_size = epsilon * self.step_size_factor
+        adversarial = images.copy()
+        for _ in range(self.steps):
+            gradient = self._gradient(model, adversarial, labels)
+            adversarial = adversarial + step_size * np.sign(gradient)
+            perturbation = project_linf_ball(adversarial - images, epsilon)
+            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return adversarial
+
+
+class BIML2(Attack):
+    """Iterative l2 FGM with projection onto the l2 eps-ball after every step."""
+
+    name = "Basic Iterative Method"
+    short_name = "BIM"
+    attack_type = GRADIENT
+    norm = "l2"
+
+    def __init__(self, steps: int = 10, step_size_factor: float = 0.2) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        if step_size_factor <= 0:
+            raise ConfigurationError(
+                f"step_size_factor must be positive, got {step_size_factor}"
+            )
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+
+    def _run(self, model, images, labels, epsilon):
+        step_size = epsilon * self.step_size_factor
+        adversarial = images.copy()
+        for _ in range(self.steps):
+            gradient = self._gradient(model, adversarial, labels)
+            adversarial = adversarial + step_size * normalize_l2(gradient)
+            perturbation = project_l2_ball(adversarial - images, epsilon)
+            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return adversarial

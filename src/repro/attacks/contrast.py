@@ -1,0 +1,39 @@
+"""Contrast Reduction attack (decision-based, l2 budget).
+
+Follows Foolbox's ``L2ContrastReductionAttack``: the perturbation direction is
+towards the zero-contrast image (every pixel at the mid-level ``target``),
+scaled so that its l2 norm equals the budget.  No gradients or model queries
+are needed to construct the perturbation, which is why the paper classifies
+it as a decision attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import DECISION, Attack
+from repro.attacks.distances import batch_l2_norm
+from repro.errors import ConfigurationError
+
+
+class ContrastReductionL2(Attack):
+    """Move every image towards mid-grey with an l2-bounded perturbation."""
+
+    name = "Contrast Reduction Attack"
+    short_name = "CR"
+    attack_type = DECISION
+    norm = "l2"
+
+    def __init__(self, target: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= target <= 1.0:
+            raise ConfigurationError(f"target must be in [0, 1], got {target}")
+        self.target = target
+
+    def _run(self, model, images, labels, epsilon):
+        direction = self.target - images
+        norms = batch_l2_norm(direction)
+        unit = direction / np.maximum(norms, 1e-12)
+        # never overshoot the zero-contrast image itself
+        step = np.minimum(epsilon, norms)
+        return images + step * unit

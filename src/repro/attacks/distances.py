@@ -1,0 +1,80 @@
+"""Distance metrics between original and perturbed images.
+
+The paper (Table I) uses the l0, l2 and linf norms to approximate the human
+perception of visual difference:
+
+* l0 — number of pixels that changed;
+* l2 — Euclidean distance;
+* linf — maximum absolute per-pixel difference.
+
+All functions operate per sample on batches: inputs of shape ``(N, ...)``
+return a vector of ``N`` distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _flatten_pair(original: np.ndarray, perturbed: np.ndarray) -> tuple:
+    original = np.asarray(original, dtype=np.float64)
+    perturbed = np.asarray(perturbed, dtype=np.float64)
+    if original.shape != perturbed.shape:
+        raise ShapeError(
+            f"original and perturbed batches must have identical shapes, got "
+            f"{original.shape} and {perturbed.shape}"
+        )
+    n = original.shape[0]
+    return original.reshape(n, -1), perturbed.reshape(n, -1)
+
+
+def l0_distance(original: np.ndarray, perturbed: np.ndarray, atol: float = 1e-12) -> np.ndarray:
+    """Number of changed pixels per sample."""
+    a, b = _flatten_pair(original, perturbed)
+    return np.sum(np.abs(a - b) > atol, axis=1).astype(np.float64)
+
+
+def l2_distance(original: np.ndarray, perturbed: np.ndarray) -> np.ndarray:
+    """Euclidean distance per sample."""
+    a, b = _flatten_pair(original, perturbed)
+    return np.sqrt(np.sum((a - b) ** 2, axis=1))
+
+
+def linf_distance(original: np.ndarray, perturbed: np.ndarray) -> np.ndarray:
+    """Maximum absolute per-pixel difference per sample."""
+    a, b = _flatten_pair(original, perturbed)
+    return np.max(np.abs(a - b), axis=1)
+
+
+DISTANCES = {
+    "l0": l0_distance,
+    "l2": l2_distance,
+    "linf": linf_distance,
+}
+
+
+def batch_l2_norm(x: np.ndarray) -> np.ndarray:
+    """Per-sample l2 norm of a batch, with singleton trailing axes for broadcasting."""
+    flat = x.reshape(x.shape[0], -1)
+    norms = np.sqrt(np.sum(flat ** 2, axis=1))
+    return norms.reshape((-1,) + (1,) * (x.ndim - 1))
+
+
+def project_l2_ball(perturbation: np.ndarray, radius: float) -> np.ndarray:
+    """Project a batch of perturbations onto the l2 ball of a given radius."""
+    norms = batch_l2_norm(perturbation)
+    factor = np.minimum(1.0, radius / np.maximum(norms, 1e-12))
+    return perturbation * factor
+
+
+def project_linf_ball(perturbation: np.ndarray, radius: float) -> np.ndarray:
+    """Project a batch of perturbations onto the linf ball of a given radius."""
+    return np.clip(perturbation, -radius, radius)
+
+
+def normalize_l2(x: np.ndarray) -> np.ndarray:
+    """Scale every sample of a batch to unit l2 norm (zero vectors stay zero)."""
+    norms = batch_l2_norm(x)
+    return x / np.maximum(norms, 1e-12)

@@ -1,0 +1,34 @@
+"""Fast Gradient Method (FGM / FGSM)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import GRADIENT, Attack
+from repro.attacks.distances import normalize_l2
+
+
+class FGMLinf(Attack):
+    """Single-step linf fast gradient (sign) method: ``x + eps * sign(grad)``."""
+
+    name = "Fast Gradient Method"
+    short_name = "FGM"
+    attack_type = GRADIENT
+    norm = "linf"
+
+    def _run(self, model, images, labels, epsilon):
+        gradient = self._gradient(model, images, labels)
+        return images + epsilon * np.sign(gradient)
+
+
+class FGML2(Attack):
+    """Single-step l2 fast gradient method: a step of l2 length eps along the gradient."""
+
+    name = "Fast Gradient Method"
+    short_name = "FGM"
+    attack_type = GRADIENT
+    norm = "l2"
+
+    def _run(self, model, images, labels, epsilon):
+        gradient = self._gradient(model, images, labels)
+        return images + epsilon * normalize_l2(gradient)

@@ -1,0 +1,72 @@
+"""Projected Gradient Descent (PGD): BIM with a random start inside the ball."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import GRADIENT, PIXEL_MAX, PIXEL_MIN, Attack
+from repro.attacks.distances import normalize_l2, project_l2_ball, project_linf_ball
+from repro.errors import ConfigurationError
+
+
+class PGDLinf(Attack):
+    """linf PGD (Madry et al.): random start, iterated sign steps, eps-ball projection."""
+
+    name = "Projected Gradient Descent"
+    short_name = "PGD"
+    attack_type = GRADIENT
+    norm = "linf"
+
+    def __init__(
+        self, steps: int = 10, step_size_factor: float = 0.25, seed: int = 0
+    ) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+        self._rng = np.random.default_rng(seed)
+
+    def _run(self, model, images, labels, epsilon):
+        step_size = epsilon * self.step_size_factor
+        start = self._rng.uniform(-epsilon, epsilon, size=images.shape)
+        adversarial = np.clip(images + start, PIXEL_MIN, PIXEL_MAX)
+        for _ in range(self.steps):
+            gradient = self._gradient(model, adversarial, labels)
+            adversarial = adversarial + step_size * np.sign(gradient)
+            perturbation = project_linf_ball(adversarial - images, epsilon)
+            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return adversarial
+
+
+class PGDL2(Attack):
+    """l2 PGD: random start in the l2 ball, normalised gradient steps, projection."""
+
+    name = "Projected Gradient Descent"
+    short_name = "PGD"
+    attack_type = GRADIENT
+    norm = "l2"
+
+    def __init__(
+        self, steps: int = 10, step_size_factor: float = 0.25, seed: int = 0
+    ) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+        self._rng = np.random.default_rng(seed)
+
+    def _run(self, model, images, labels, epsilon):
+        step_size = epsilon * self.step_size_factor
+        start = self._rng.normal(size=images.shape)
+        start = project_l2_ball(start, epsilon) * self._rng.uniform(
+            0.0, 1.0, size=(images.shape[0],) + (1,) * (images.ndim - 1)
+        )
+        adversarial = np.clip(images + start, PIXEL_MIN, PIXEL_MAX)
+        for _ in range(self.steps):
+            gradient = self._gradient(model, adversarial, labels)
+            adversarial = adversarial + step_size * normalize_l2(gradient)
+            perturbation = project_l2_ball(adversarial - images, epsilon)
+            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return adversarial

@@ -1,0 +1,29 @@
+"""Approximate inference engine (the TFApprox substitute).
+
+Converts trained float models into 8-bit quantized models whose every
+activation x weight product is evaluated through an approximate-multiplier
+look-up table.
+"""
+
+from repro.axnn.approx_ops import (
+    approx_dot_general,
+    approx_matmul,
+    exact_matmul,
+    quantize_weights_sign_magnitude,
+)
+from repro.axnn.engine import AxModel, build_axdnn, build_quantized_accurate
+from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
+
+__all__ = [
+    "approx_matmul",
+    "exact_matmul",
+    "approx_dot_general",
+    "quantize_weights_sign_magnitude",
+    "AxLayer",
+    "AxConv2D",
+    "AxDense",
+    "PassthroughLayer",
+    "AxModel",
+    "build_axdnn",
+    "build_quantized_accurate",
+]

@@ -1,0 +1,137 @@
+"""Quantized matrix products routed through an approximate-multiplier LUT.
+
+This is the computational core of the AxDNN inference engine and the direct
+substitute for TFApprox's CUDA kernels: every scalar activation x weight
+product inside a convolution or dense layer is looked up in the multiplier's
+256x256 product table.
+
+The decomposition used (sign-magnitude weights, affine activations) is
+
+    y = sa * sw * ( sum_k sign_k * LUT[qa_k, mag_k]  -  za * sum_k sign_k * mag_k )
+
+where only the first summation depends on the approximate multiplier — the
+zero-point correction term is a constant per output neuron and is folded in
+exactly, as a hardware accelerator would fold it into the bias.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.multipliers.base import Multiplier
+
+#: bound on the number of int64 elements materialised per indexing chunk
+_DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+
+def quantize_weights_sign_magnitude(
+    weights: np.ndarray, bits: int = 8
+) -> tuple:
+    """Quantize a float weight matrix to (sign, magnitude, scale).
+
+    The magnitude uses the full unsigned range of the multiplier
+    (``0 .. 2**bits - 1``); the sign is in {-1, 0, +1}.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    qmax = (1 << bits) - 1
+    max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
+    scale = max(max_abs, 1e-12) / qmax
+    magnitude = np.clip(np.round(np.abs(weights) / scale), 0, qmax).astype(np.int64)
+    sign = np.sign(weights).astype(np.int64)
+    return sign, magnitude, scale
+
+
+def approx_matmul(
+    activation_codes: np.ndarray,
+    weight_sign: np.ndarray,
+    weight_magnitude: np.ndarray,
+    lut: np.ndarray,
+    chunk_elements: int = _DEFAULT_CHUNK_ELEMENTS,
+) -> np.ndarray:
+    """Approximate integer matrix product ``(M, K) @ (K, N) -> (M, N)``.
+
+    Parameters
+    ----------
+    activation_codes:
+        Unsigned activation codes, shape ``(M, K)``.
+    weight_sign, weight_magnitude:
+        Signed/unsigned weight decomposition, both shape ``(K, N)``.
+    lut:
+        Product look-up table of the approximate multiplier,
+        shape ``(2**bits, 2**bits)``.
+    chunk_elements:
+        Upper bound on the number of intermediate product elements held in
+        memory at once; rows of the activation matrix are processed in
+        chunks of ``max(1, chunk_elements // (K * N))``.
+    """
+    activation_codes = np.asarray(activation_codes, dtype=np.int64)
+    weight_sign = np.asarray(weight_sign, dtype=np.int64)
+    weight_magnitude = np.asarray(weight_magnitude, dtype=np.int64)
+    if activation_codes.ndim != 2 or weight_sign.ndim != 2:
+        raise ShapeError("approx_matmul expects 2-D operands")
+    if activation_codes.shape[1] != weight_sign.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: {activation_codes.shape} vs {weight_sign.shape}"
+        )
+    if weight_sign.shape != weight_magnitude.shape:
+        raise ShapeError("weight sign and magnitude must have identical shapes")
+
+    rows, inner = activation_codes.shape
+    outputs = weight_sign.shape[1]
+    signed_weights = weight_sign * weight_magnitude  # used only via the LUT gather
+    result = np.empty((rows, outputs), dtype=np.int64)
+    chunk_rows = max(1, chunk_elements // max(1, inner * outputs))
+    for start in range(0, rows, chunk_rows):
+        stop = min(start + chunk_rows, rows)
+        block = activation_codes[start:stop]  # (m, K)
+        products = lut[block[:, :, None], weight_magnitude[None, :, :]].astype(np.int64)
+        products *= weight_sign[None, :, :]
+        result[start:stop] = products.sum(axis=1)
+    del signed_weights
+    return result
+
+
+def exact_matmul(
+    activation_codes: np.ndarray,
+    weight_sign: np.ndarray,
+    weight_magnitude: np.ndarray,
+) -> np.ndarray:
+    """Exact integer product with the same interface as :func:`approx_matmul`.
+
+    Used as a fast path when the configured multiplier is bit-exact (the
+    quantized accurate DNN), where a LUT gather would only waste time.
+    """
+    signed_weights = (weight_sign * weight_magnitude).astype(np.float64)
+    return np.rint(
+        np.asarray(activation_codes, dtype=np.float64) @ signed_weights
+    ).astype(np.int64)
+
+
+def approx_dot_general(
+    activation_codes: np.ndarray,
+    weight_sign: np.ndarray,
+    weight_magnitude: np.ndarray,
+    multiplier: Multiplier,
+    zero_point: int,
+    use_exact_fastpath: Optional[bool] = None,
+) -> np.ndarray:
+    """Full quantized dot product including the zero-point correction term.
+
+    Returns the integer accumulator ``sum_k (qa_k - za) * qw_k`` where the
+    ``qa * |qw|`` partial products go through the approximate multiplier.
+    """
+    if use_exact_fastpath is None:
+        use_exact_fastpath = multiplier.is_exact()
+    if use_exact_fastpath:
+        accumulator = exact_matmul(activation_codes, weight_sign, weight_magnitude)
+    else:
+        accumulator = approx_matmul(
+            activation_codes, weight_sign, weight_magnitude, multiplier.lut()
+        )
+    if zero_point:
+        correction = (weight_sign * weight_magnitude).sum(axis=0)  # (N,)
+        accumulator = accumulator - zero_point * correction[None, :]
+    return accumulator

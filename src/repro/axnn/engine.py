@@ -1,0 +1,192 @@
+"""Building and running approximate DNNs (AxDNNs).
+
+:func:`build_axdnn` converts a trained float :class:`repro.nn.Sequential`
+model into an :class:`AxModel`:
+
+1. a calibration batch is pushed through the float model, recording the
+   activation range at the input of every compute layer;
+2. every ``Conv2D`` / ``Dense`` layer is replaced by its quantized,
+   LUT-multiplied counterpart (:class:`repro.axnn.layers.AxConv2D` /
+   :class:`AxDense`) bound to the requested approximate multiplier;
+3. every other layer is wrapped as a pass-through evaluated in inference
+   mode.
+
+Passing the accurate multiplier (``mul8u_1JFF``) yields the paper's
+"quantized accurate DNN"; passing any other named multiplier yields the
+corresponding AxDNN.  Per-layer multiplier assignment is also supported so
+that mixed configurations (e.g. approximate convolutions, exact classifier)
+can be studied — the paper applies the approximate multipliers to the
+convolutional layers only, which is the default here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
+from repro.errors import ConfigurationError
+from repro.multipliers.base import Multiplier
+from repro.multipliers.library import get_multiplier
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+from repro.quantization.quantizer import ActivationObserver
+from repro.quantization.schemes import AffineQuantization
+
+MultiplierSpec = Union[str, Multiplier]
+
+
+class AxModel:
+    """An inference-only approximate DNN."""
+
+    def __init__(
+        self,
+        layers: Sequence[AxLayer],
+        name: str,
+        multiplier: Multiplier,
+        bits: int,
+        source: Sequential,
+    ) -> None:
+        self.layers: List[AxLayer] = list(layers)
+        self.name = name
+        self.multiplier = multiplier
+        self.bits = bits
+        self.source = source
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Batched inference returning logits."""
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Predicted class labels."""
+        return np.argmax(self.predict(x, batch_size=batch_size), axis=-1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+        """Classification accuracy in [0, 1]."""
+        return accuracy(self.predict_classes(x, batch_size=batch_size), np.asarray(y))
+
+    def accuracy_percent(self, x: np.ndarray, y: np.ndarray, batch_size: int = 64) -> float:
+        """Classification accuracy in percent (the unit used by the paper)."""
+        return self.accuracy(x, y, batch_size=batch_size) * 100.0
+
+    def compute_layers(self) -> List[AxLayer]:
+        """The quantized compute layers (AxConv2D / AxDense)."""
+        return [
+            layer for layer in self.layers if isinstance(layer, (AxConv2D, AxDense))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AxModel(name={self.name!r}, multiplier={self.multiplier.name!r}, "
+            f"bits={self.bits}, layers={len(self.layers)})"
+        )
+
+
+def _calibrate_activations(
+    model: Sequential, calibration_data: np.ndarray, bits: int
+) -> Dict[str, AffineQuantization]:
+    """Record the activation range at the input of every compute layer."""
+    observers: Dict[str, ActivationObserver] = {}
+    x = np.asarray(calibration_data, dtype=np.float64)
+    out = x
+    for layer in model.layers:
+        if isinstance(layer, (Conv2D, Dense)):
+            observer = observers.setdefault(layer.name, ActivationObserver())
+            observer.update(out)
+        out = layer.forward(out, training=False)
+    return {name: obs.affine_scheme(bits=bits) for name, obs in observers.items()}
+
+
+def build_axdnn(
+    model: Sequential,
+    multiplier: MultiplierSpec,
+    calibration_data: np.ndarray,
+    bits: int = 8,
+    convolution_only: bool = False,
+    per_layer_multipliers: Optional[Dict[str, MultiplierSpec]] = None,
+    name: Optional[str] = None,
+) -> AxModel:
+    """Convert a trained float model into a quantized approximate model.
+
+    Parameters
+    ----------
+    model:
+        Trained float model (must be built).
+    multiplier:
+        Default multiplier for every compute layer — a
+        :class:`repro.multipliers.base.Multiplier` or a registry name/paper
+        label (e.g. ``"mul8u_17KS"`` or ``"M4"``).
+    calibration_data:
+        Batch of representative inputs used to calibrate activation ranges.
+    bits:
+        Fixed-point bit width (8 in the paper).
+    convolution_only:
+        When True, only convolution layers use the approximate multiplier and
+        dense layers use the accurate one (the paper replaces the multipliers
+        "in the convolutional layers").  Default False: all compute layers
+        use the configured multiplier.
+    per_layer_multipliers:
+        Optional explicit mapping from float-layer name to multiplier,
+        overriding ``multiplier`` for those layers.
+    """
+    if not model.layers:
+        raise ConfigurationError("cannot build an AxDNN from an empty model")
+    if calibration_data is None or np.asarray(calibration_data).size == 0:
+        raise ConfigurationError("calibration_data must contain at least one sample")
+
+    default_multiplier = (
+        multiplier if isinstance(multiplier, Multiplier) else get_multiplier(multiplier)
+    )
+    accurate = get_multiplier("mul8u_1JFF")
+    overrides: Dict[str, Multiplier] = {}
+    if per_layer_multipliers:
+        for layer_name, spec in per_layer_multipliers.items():
+            overrides[layer_name] = (
+                spec if isinstance(spec, Multiplier) else get_multiplier(spec)
+            )
+
+    schemes = _calibrate_activations(model, calibration_data, bits)
+    ax_layers: List[AxLayer] = []
+    for layer in model.layers:
+        if isinstance(layer, Conv2D):
+            chosen = overrides.get(layer.name, default_multiplier)
+            ax_layers.append(AxConv2D(layer, chosen, schemes[layer.name], weight_bits=bits))
+        elif isinstance(layer, Dense):
+            chosen = overrides.get(
+                layer.name, accurate if convolution_only else default_multiplier
+            )
+            ax_layers.append(AxDense(layer, chosen, schemes[layer.name], weight_bits=bits))
+        else:
+            ax_layers.append(PassthroughLayer(layer))
+
+    model_name = name or f"ax_{model.name}_{default_multiplier.name}"
+    return AxModel(ax_layers, model_name, default_multiplier, bits, source=model)
+
+
+def build_quantized_accurate(
+    model: Sequential,
+    calibration_data: np.ndarray,
+    bits: int = 8,
+    name: Optional[str] = None,
+) -> AxModel:
+    """The paper's quantized accurate DNN: 8-bit fixed point, exact multiplier."""
+    return build_axdnn(
+        model,
+        "mul8u_1JFF",
+        calibration_data,
+        bits=bits,
+        name=name or f"quantized_{model.name}",
+    )

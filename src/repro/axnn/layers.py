@@ -1,0 +1,136 @@
+"""Inference-only layers of the approximate DNN (AxDNN).
+
+An AxDNN is built from a trained float model by
+:func:`repro.axnn.engine.build_axdnn`: compute layers (convolutions and dense
+layers) become :class:`AxConv2D` / :class:`AxDense`, which quantize their
+inputs and weights to 8-bit fixed point and evaluate every product through
+the configured approximate multiplier; all other layers (activations,
+pooling, flatten, dropout, batch-norm) keep their float behaviour in
+evaluation mode via :class:`PassthroughLayer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.axnn.approx_ops import approx_dot_general, quantize_weights_sign_magnitude
+from repro.errors import ShapeError
+from repro.multipliers.base import Multiplier
+from repro.nn.functional import im2col
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.quantization.schemes import AffineQuantization
+
+
+class AxLayer:
+    """Base class for inference-only AxDNN layers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PassthroughLayer(AxLayer):
+    """Wraps a float layer, evaluated in inference mode."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer.name)
+        self.layer = layer
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.layer.forward(x, training=False)
+
+
+class AxDense(AxLayer):
+    """Quantized dense layer evaluated through an approximate multiplier."""
+
+    def __init__(
+        self,
+        source: Dense,
+        multiplier: Multiplier,
+        activation_scheme: AffineQuantization,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__(f"ax_{source.name}")
+        self.multiplier = multiplier
+        self.activation_scheme = activation_scheme
+        weight = source.params["weight"]
+        self.weight_sign, self.weight_magnitude, self.weight_scale = (
+            quantize_weights_sign_magnitude(weight, bits=weight_bits)
+        )
+        self.bias = source.params.get("bias")
+        self.units = source.units
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"{self.name}: expected 2-D input, got {x.shape}")
+        codes = self.activation_scheme.quantize(x)
+        accumulator = approx_dot_general(
+            codes,
+            self.weight_sign,
+            self.weight_magnitude,
+            self.multiplier,
+            zero_point=self.activation_scheme.zero_point,
+        )
+        y = accumulator.astype(np.float64) * (
+            self.activation_scheme.scale * self.weight_scale
+        )
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+class AxConv2D(AxLayer):
+    """Quantized 2-D convolution evaluated through an approximate multiplier."""
+
+    def __init__(
+        self,
+        source: Conv2D,
+        multiplier: Multiplier,
+        activation_scheme: AffineQuantization,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__(f"ax_{source.name}")
+        self.multiplier = multiplier
+        self.activation_scheme = activation_scheme
+        self.kernel_size = source.kernel_size
+        self.stride = source.stride
+        self.pad_amount = source.pad_amount
+        self.filters = source.filters
+        flattened = source.flattened_weight()  # (kh*kw*cin, filters)
+        self.weight_sign, self.weight_magnitude, self.weight_scale = (
+            quantize_weights_sign_magnitude(flattened, bits=weight_bits)
+        )
+        self.bias = source.params.get("bias")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got {x.shape}")
+        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.pad_amount)
+        batch, out_h, out_w, patch = cols.shape
+        codes = self.activation_scheme.quantize(cols.reshape(-1, patch))
+        accumulator = approx_dot_general(
+            codes,
+            self.weight_sign,
+            self.weight_magnitude,
+            self.multiplier,
+            zero_point=self.activation_scheme.zero_point,
+        )
+        y = accumulator.astype(np.float64) * (
+            self.activation_scheme.scale * self.weight_scale
+        )
+        y = y.reshape(batch, out_h, out_w, self.filters)
+        if self.bias is not None:
+            y = y + self.bias
+        return y

@@ -1,0 +1,74 @@
+"""Vectorised bit-manipulation helpers used by the circuit models.
+
+All functions operate on NumPy integer arrays of arbitrary shape.  Bits are
+represented as ``int64`` arrays containing only 0s and 1s; bit vectors are
+stored least-significant-bit first along the last axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Decompose unsigned integers into a bit array (LSB first).
+
+    Parameters
+    ----------
+    values:
+        Array of non-negative integers.
+    width:
+        Number of bits to extract.  Values must fit in ``width`` bits.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``values.shape + (width,)`` with entries in {0, 1}.
+    """
+    values = np.asarray(values)
+    if width <= 0:
+        raise ShapeError(f"bit width must be positive, got {width}")
+    if np.any(values < 0):
+        raise ShapeError("to_bits expects non-negative integers")
+    if np.any(values >= (1 << width)):
+        raise ShapeError(f"values do not fit in {width} bits")
+    shifts = np.arange(width, dtype=np.int64)
+    return ((values[..., None].astype(np.int64) >> shifts) & 1).astype(np.int64)
+
+
+def from_bits(bits: np.ndarray) -> np.ndarray:
+    """Recompose a bit array (LSB first along the last axis) into integers."""
+    bits = np.asarray(bits, dtype=np.int64)
+    width = bits.shape[-1]
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+    return np.sum(bits * weights, axis=-1)
+
+
+def bit_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Logical AND of two bit arrays."""
+    return np.asarray(a, dtype=np.int64) & np.asarray(b, dtype=np.int64)
+
+
+def bit_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Logical OR of two bit arrays."""
+    return np.asarray(a, dtype=np.int64) | np.asarray(b, dtype=np.int64)
+
+
+def bit_xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Logical XOR of two bit arrays."""
+    return np.asarray(a, dtype=np.int64) ^ np.asarray(b, dtype=np.int64)
+
+
+def bit_not(a: np.ndarray) -> np.ndarray:
+    """Logical NOT of a bit array (1 - a)."""
+    return 1 - np.asarray(a, dtype=np.int64)
+
+
+def majority(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Majority vote of three bit arrays."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    c = np.asarray(c, dtype=np.int64)
+    return ((a + b + c) >= 2).astype(np.int64)

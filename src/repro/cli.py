@@ -1,0 +1,185 @@
+"""Command-line interface for the reproduction package.
+
+Subcommands
+-----------
+``multipliers``
+    List the multiplier library with error metrics and energy figures.
+``attacks``
+    List the attack registry (the paper's Table I).
+``sweep``
+    Run a multiplier x epsilon robustness sweep and print the heat-map.
+``screen``
+    Run the paper's error-resilience screening of candidate multipliers.
+``report``
+    Generate EXPERIMENTS.md from the benchmark results directory.
+
+Examples::
+
+    python -m repro.cli multipliers
+    python -m repro.cli sweep --attack BIM_linf --multipliers M1,M4,M8 --samples 40
+    python -m repro.cli report --results benchmarks/results --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+
+def _cmd_multipliers(args: argparse.Namespace) -> int:
+    from repro.multipliers import (
+        energy_saving_percent,
+        error_reports,
+        list_multipliers,
+        paper_label,
+    )
+
+    names = args.names.split(",") if args.names else list_multipliers()
+    reports = error_reports(names)
+    header = (
+        f"{'name':>16} {'label':>6} {'MAE%':>8} {'WCE%':>8} {'bias%':>8} "
+        f"{'err-prob':>9} {'saving%':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for report in reports:
+        label = paper_label(report.name, "lenet") or paper_label(report.name, "alexnet") or "-"
+        print(
+            f"{report.name:>16} {label:>6} {report.mae_percent:>8.3f} "
+            f"{report.wce_percent:>8.2f} {report.mean_error_percent:>8.3f} "
+            f"{report.error_probability:>9.3f} "
+            f"{energy_saving_percent(report.name):>8.1f}"
+        )
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.attacks import attack_table
+    from repro.attacks.extended import EXTENDED_ATTACKS
+
+    print(f"{'key':>10} {'attack':>32} {'type':>10} {'norm':>6}")
+    print("-" * 62)
+    for metadata in attack_table():
+        key = f"{metadata.short_name}_{metadata.norm}"
+        print(f"{key:>10} {metadata.name:>32} {metadata.attack_type:>10} {metadata.norm:>6}")
+    if args.extended:
+        print("\nextension attacks (beyond the paper's Table I):")
+        for key in sorted(EXTENDED_ATTACKS):
+            print(f"  {key}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_robustness_grid
+    from repro.attacks import get_attack
+    from repro.models import trained_lenet5
+    from repro.robustness import build_victims, multiplier_sweep
+
+    trained = trained_lenet5(n_train=args.train, n_test=300, epochs=args.epochs)
+    dataset = trained.dataset
+    calibration = dataset.train.images[:128]
+    victims = build_victims(trained.model, args.multipliers.split(","), calibration)
+    epsilons = [float(value) for value in args.epsilons.split(",")]
+    grid = multiplier_sweep(
+        trained.model,
+        victims,
+        get_attack(args.attack),
+        dataset.test.images[: args.samples],
+        dataset.test.labels[: args.samples],
+        epsilons,
+        dataset.name,
+    )
+    print(format_robustness_grid(grid))
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.models import trained_lenet5
+    from repro.multipliers.selection import select_resilient_multipliers
+
+    trained = trained_lenet5(n_train=args.train, n_test=300, epochs=args.epochs)
+    dataset = trained.dataset
+    report = select_resilient_multipliers(
+        trained.model,
+        args.candidates.split(","),
+        dataset.train.images[:128],
+        dataset.test.images[: args.samples],
+        dataset.test.labels[: args.samples],
+        accuracy_threshold_percent=args.threshold,
+    )
+    print(f"accuracy threshold: {report.threshold_percent:.1f}%")
+    for result in report.results:
+        status = "keep" if result.accepted else "drop"
+        print(
+            f"  [{status}] {result.name:>16}  MAE={result.mae_percent:6.3f}%  "
+            f"accuracy={result.clean_accuracy_percent:5.1f}%"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_generator import write_experiments_markdown
+
+    content = write_experiments_markdown(args.results, args.output)
+    print(f"wrote {args.output} ({len(content.splitlines())} lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AxDNN adversarial-robustness reproduction toolkit"
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    mult = subparsers.add_parser("multipliers", help="list the multiplier library")
+    mult.add_argument("--names", default="", help="comma-separated subset to show")
+    mult.set_defaults(func=_cmd_multipliers)
+
+    attacks = subparsers.add_parser("attacks", help="list the attack registry (Table I)")
+    attacks.add_argument("--extended", action="store_true", help="also list extension attacks")
+    attacks.set_defaults(func=_cmd_attacks)
+
+    sweep = subparsers.add_parser("sweep", help="run a robustness sweep on LeNet-5")
+    sweep.add_argument("--attack", default="BIM_linf")
+    sweep.add_argument("--multipliers", default="M1,M4,M8")
+    sweep.add_argument("--epsilons", default="0,0.05,0.1,0.25,0.5")
+    sweep.add_argument("--samples", type=int, default=40)
+    sweep.add_argument("--train", type=int, default=1500)
+    sweep.add_argument("--epochs", type=int, default=4)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    screen = subparsers.add_parser(
+        "screen", help="error-resilience screening of candidate multipliers"
+    )
+    screen.add_argument("--candidates", default="M1,M2,M3,M4,M5,M6,M7,M8,M9")
+    screen.add_argument("--threshold", type=float, default=90.0)
+    screen.add_argument("--samples", type=int, default=60)
+    screen.add_argument("--train", type=int, default=1500)
+    screen.add_argument("--epochs", type=int, default=4)
+    screen.set_defaults(func=_cmd_screen)
+
+    report = subparsers.add_parser("report", help="generate EXPERIMENTS.md from benchmark results")
+    report.add_argument("--results", default="benchmarks/results")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""Procedural rasterisation helpers for the synthetic datasets.
+
+The synthetic MNIST substitute renders digit-like glyphs from stroke
+descriptions; the synthetic CIFAR-10 substitute renders coloured shapes over
+textured backgrounds.  Everything here is deterministic given an explicit
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+
+def blank_canvas(size: int) -> np.ndarray:
+    """A zeroed ``size x size`` float canvas."""
+    return np.zeros((size, size), dtype=np.float64)
+
+
+def draw_line(
+    canvas: np.ndarray, start: Point, end: Point, thickness: float = 1.6
+) -> None:
+    """Draw an anti-aliased line segment (coordinates in [0, 1], row/col order)."""
+    size = canvas.shape[0]
+    r0, c0 = start[0] * (size - 1), start[1] * (size - 1)
+    r1, c1 = end[0] * (size - 1), end[1] * (size - 1)
+    length = max(abs(r1 - r0), abs(c1 - c0), 1.0)
+    steps = int(np.ceil(length * 2)) + 1
+    rows = np.linspace(r0, r1, steps)
+    cols = np.linspace(c0, c1, steps)
+    grid_r, grid_c = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    for r, c in zip(rows, cols):
+        distance_sq = (grid_r - r) ** 2 + (grid_c - c) ** 2
+        canvas += np.exp(-distance_sq / (2.0 * (thickness / 2.0) ** 2))
+    np.clip(canvas, 0.0, 1.0, out=canvas)
+
+
+def draw_arc(
+    canvas: np.ndarray,
+    center: Point,
+    radius: float,
+    start_deg: float,
+    end_deg: float,
+    thickness: float = 1.6,
+) -> None:
+    """Draw a circular arc (angles in degrees, coordinates in [0, 1])."""
+    size = canvas.shape[0]
+    cr, cc = center[0] * (size - 1), center[1] * (size - 1)
+    rad = radius * (size - 1)
+    angles = np.linspace(np.radians(start_deg), np.radians(end_deg), 48)
+    grid_r, grid_c = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    for angle in angles:
+        r = cr - rad * np.cos(angle)
+        c = cc + rad * np.sin(angle)
+        distance_sq = (grid_r - r) ** 2 + (grid_c - c) ** 2
+        canvas += np.exp(-distance_sq / (2.0 * (thickness / 2.0) ** 2))
+    np.clip(canvas, 0.0, 1.0, out=canvas)
+
+
+def render_strokes(
+    size: int, strokes: Sequence[dict], thickness: float = 1.6
+) -> np.ndarray:
+    """Render a glyph described as a list of stroke dictionaries.
+
+    A stroke is either ``{"line": (start, end)}`` or
+    ``{"arc": (center, radius, start_deg, end_deg)}``.
+    """
+    canvas = blank_canvas(size)
+    for stroke in strokes:
+        if "line" in stroke:
+            start, end = stroke["line"]
+            draw_line(canvas, start, end, thickness)
+        elif "arc" in stroke:
+            center, radius, start_deg, end_deg = stroke["arc"]
+            draw_arc(canvas, center, radius, start_deg, end_deg, thickness)
+        else:
+            raise ValueError(f"unknown stroke type in {stroke!r}")
+    return canvas
+
+
+def random_affine(
+    image: np.ndarray,
+    rng: np.random.Generator,
+    max_shift: int = 2,
+    max_rotate_deg: float = 12.0,
+    scale_range: Tuple[float, float] = (0.9, 1.1),
+) -> np.ndarray:
+    """Apply a small random shift / rotation / scale to a grayscale image."""
+    from scipy import ndimage
+
+    angle = rng.uniform(-max_rotate_deg, max_rotate_deg)
+    scale = rng.uniform(*scale_range)
+    shifted = ndimage.rotate(image, angle, reshape=False, order=1, mode="constant")
+    zoomed = ndimage.zoom(shifted, scale, order=1, mode="constant")
+    # crop or pad back to the original size, centred
+    size = image.shape[0]
+    result = np.zeros_like(image)
+    z = zoomed.shape[0]
+    if z >= size:
+        offset = (z - size) // 2
+        result = zoomed[offset : offset + size, offset : offset + size]
+    else:
+        offset = (size - z) // 2
+        result[offset : offset + z, offset : offset + z] = zoomed
+    shift_r = rng.integers(-max_shift, max_shift + 1)
+    shift_c = rng.integers(-max_shift, max_shift + 1)
+    result = np.roll(result, (shift_r, shift_c), axis=(0, 1))
+    return np.clip(result, 0.0, 1.0)
+
+
+def checkerboard(size: int, period: int, phase: int = 0) -> np.ndarray:
+    """A binary checkerboard texture."""
+    rows, cols = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    return (((rows + phase) // period + (cols + phase) // period) % 2).astype(np.float64)
+
+
+def stripes(size: int, period: int, horizontal: bool = True) -> np.ndarray:
+    """A binary stripe texture."""
+    axis = np.arange(size)
+    pattern = ((axis // period) % 2).astype(np.float64)
+    if horizontal:
+        return np.tile(pattern[:, None], (1, size))
+    return np.tile(pattern[None, :], (size, 1))
+
+
+def filled_circle(size: int, center: Point, radius: float) -> np.ndarray:
+    """A filled circle mask (coordinates in [0, 1])."""
+    grid_r, grid_c = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    cr, cc = center[0] * (size - 1), center[1] * (size - 1)
+    rad = radius * (size - 1)
+    return ((grid_r - cr) ** 2 + (grid_c - cc) ** 2 <= rad ** 2).astype(np.float64)
+
+
+def filled_rect(size: int, top_left: Point, bottom_right: Point) -> np.ndarray:
+    """A filled axis-aligned rectangle mask (coordinates in [0, 1])."""
+    grid_r, grid_c = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    r0, c0 = top_left[0] * (size - 1), top_left[1] * (size - 1)
+    r1, c1 = bottom_right[0] * (size - 1), bottom_right[1] * (size - 1)
+    return (
+        (grid_r >= r0) & (grid_r <= r1) & (grid_c >= c0) & (grid_c <= c1)
+    ).astype(np.float64)
+
+
+def filled_triangle(size: int, apex: Point, base_y: float, half_width: float) -> np.ndarray:
+    """A filled isoceles triangle mask pointing upwards."""
+    grid_r, grid_c = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    ar, ac = apex[0] * (size - 1), apex[1] * (size - 1)
+    by = base_y * (size - 1)
+    hw = half_width * (size - 1)
+    height = max(by - ar, 1.0)
+    # width of the triangle at a given row grows linearly from apex to base
+    rel = np.clip((grid_r - ar) / height, 0.0, 1.0)
+    inside_rows = (grid_r >= ar) & (grid_r <= by)
+    inside_cols = np.abs(grid_c - ac) <= rel * hw
+    return (inside_rows & inside_cols).astype(np.float64)

@@ -1,0 +1,29 @@
+"""Defence strategies for AxDNNs (extension beyond the paper).
+
+The paper's conclusion — approximation is not a universal defence — raises
+the obvious follow-up: what *does* help an AxDNN?  This package implements
+three standard defences so that follow-up studies can be run with the same
+harness:
+
+* :class:`repro.defenses.adversarial_training.AdversarialTrainer` — augments
+  every training batch with FGM/PGD examples (Goodfellow et al. / Madry et
+  al. style);
+* :func:`repro.defenses.ensemble.majority_vote` /
+  :class:`repro.defenses.ensemble.AxEnsemble` — an ensemble of AxDNNs with
+  *different* approximate multipliers, exploiting the fact that their error
+  patterns are decorrelated;
+* :class:`repro.defenses.preprocessing.FeatureSqueezingDefense` — input
+  bit-depth reduction and smoothing (Xu et al., 2018), the classic
+  preprocessing defence the quantization discussion in the paper alludes to.
+"""
+
+from repro.defenses.adversarial_training import AdversarialTrainer
+from repro.defenses.ensemble import AxEnsemble, majority_vote
+from repro.defenses.preprocessing import FeatureSqueezingDefense
+
+__all__ = [
+    "AdversarialTrainer",
+    "AxEnsemble",
+    "majority_vote",
+    "FeatureSqueezingDefense",
+]

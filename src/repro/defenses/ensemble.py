@@ -1,0 +1,72 @@
+"""Ensembles of AxDNNs with diverse approximate multipliers.
+
+The paper observes that approximation errors are input dependent ("masked or
+unmasked").  An ensemble of AxDNNs built with *different* multipliers sees
+decorrelated error patterns, so a majority vote can recover accuracy that an
+individual AxDNN loses — a cheap, hardware-friendly defence candidate that
+this module makes easy to evaluate with the existing robustness harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def majority_vote(predictions: Sequence[np.ndarray]) -> np.ndarray:
+    """Majority vote over per-model label vectors (ties break to the first model)."""
+    if not predictions:
+        raise ConfigurationError("majority_vote needs at least one prediction vector")
+    stacked = np.stack([np.asarray(p, dtype=np.int64) for p in predictions])
+    n_models, n_samples = stacked.shape
+    voted = np.empty(n_samples, dtype=np.int64)
+    for index in range(n_samples):
+        votes = np.bincount(stacked[:, index])
+        best = int(np.flatnonzero(votes == votes.max())[0])
+        # ties resolve in favour of the first model's prediction when it is tied
+        first = int(stacked[0, index])
+        voted[index] = first if votes[first] == votes.max() else best
+    return voted
+
+
+class AxEnsemble:
+    """An ensemble of victims (AxDNNs and/or quantized models) with majority voting."""
+
+    def __init__(self, members: Sequence, name: str = "ax_ensemble") -> None:
+        if not members:
+            raise ConfigurationError("an ensemble needs at least one member")
+        self.members: List = list(members)
+        self.name = name
+
+    def predict_classes(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Majority-voted class labels."""
+        per_member = [
+            member.predict_classes(images, batch_size=batch_size)
+            for member in self.members
+        ]
+        return majority_vote(per_member)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Ensemble accuracy in [0, 1]."""
+        labels = np.asarray(labels, dtype=np.int64)
+        return float(np.mean(self.predict_classes(images) == labels))
+
+    def accuracy_percent(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Ensemble accuracy in percent."""
+        return self.accuracy(images, labels) * 100.0
+
+    def agreement(self, images: np.ndarray) -> float:
+        """Fraction of samples on which every member predicts the same label."""
+        per_member = np.stack(
+            [member.predict_classes(images) for member in self.members]
+        )
+        return float(np.mean(np.all(per_member == per_member[0], axis=0)))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AxEnsemble(name={self.name!r}, members={len(self.members)})"

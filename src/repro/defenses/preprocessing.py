@@ -1,0 +1,77 @@
+"""Input-preprocessing defences (feature squeezing).
+
+Feature squeezing (Xu et al., NDSS 2018) reduces the attacker's input space
+by re-quantizing pixel intensities to a few bits and applying local
+smoothing.  The paper discusses quantization of the *inference path*; this
+module provides the complementary input-side squeeze so both can be combined
+with any victim model (float, quantized or approximate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FeatureSqueezingDefense:
+    """Bit-depth reduction plus optional mean smoothing of input images."""
+
+    def __init__(self, bit_depth: int = 4, smoothing_window: int = 0) -> None:
+        if not 1 <= bit_depth <= 8:
+            raise ConfigurationError(f"bit_depth must be in [1, 8], got {bit_depth}")
+        if smoothing_window not in (0, 2, 3):
+            raise ConfigurationError(
+                f"smoothing_window must be 0 (off), 2 or 3, got {smoothing_window}"
+            )
+        self.bit_depth = bit_depth
+        self.smoothing_window = smoothing_window
+
+    # ----------------------------------------------------------- squeezing
+    def squeeze(self, images: np.ndarray) -> np.ndarray:
+        """Apply bit-depth reduction (and smoothing) to a batch of images."""
+        images = np.asarray(images, dtype=np.float64)
+        levels = (1 << self.bit_depth) - 1
+        squeezed = np.round(images * levels) / levels
+        if self.smoothing_window:
+            squeezed = self._mean_filter(squeezed, self.smoothing_window)
+        return np.clip(squeezed, 0.0, 1.0)
+
+    @staticmethod
+    def _mean_filter(images: np.ndarray, window: int) -> np.ndarray:
+        """Simple local mean filter over the spatial dimensions (NHWC)."""
+        padded = np.pad(
+            images, ((0, 0), (0, window - 1), (0, window - 1), (0, 0)), mode="edge"
+        )
+        result = np.zeros_like(images)
+        for di in range(window):
+            for dj in range(window):
+                result += padded[
+                    :, di : di + images.shape[1], dj : dj + images.shape[2], :
+                ]
+        return result / (window * window)
+
+    # ------------------------------------------------------------- victims
+    def wrap(self, victim, name: Optional[str] = None) -> "SqueezedVictim":
+        """Return a victim whose inputs are squeezed before inference."""
+        return SqueezedVictim(victim, self, name=name)
+
+
+class SqueezedVictim:
+    """A victim model guarded by a :class:`FeatureSqueezingDefense`."""
+
+    def __init__(self, victim, defense: FeatureSqueezingDefense, name: Optional[str] = None):
+        self.victim = victim
+        self.defense = defense
+        self.name = name or f"squeezed_{getattr(victim, 'name', 'victim')}"
+
+    def predict_classes(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        return self.victim.predict_classes(
+            self.defense.squeeze(images), batch_size=batch_size
+        )
+
+    def accuracy_percent(self, images: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=np.int64)
+        return float(np.mean(self.predict_classes(images) == labels)) * 100.0

@@ -1,0 +1,25 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensors with incompatible shapes are combined."""
+
+
+class CalibrationError(ReproError):
+    """Raised when quantization calibration cannot be performed."""
+
+
+class UnknownComponentError(ReproError, KeyError):
+    """Raised when a registry lookup (multiplier, attack, model) fails."""
+
+
+class NotFittedError(ReproError):
+    """Raised when inference is attempted on an untrained/unbuilt component."""

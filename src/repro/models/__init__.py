@@ -1,0 +1,39 @@
+"""Model architectures (LeNet-5, AlexNet, FFNN) and the train-and-cache zoo."""
+
+from repro.models.architectures import (
+    ARCHITECTURES,
+    CIFAR_SHAPE,
+    MNIST_SHAPE,
+    NUM_CLASSES,
+    build_alexnet,
+    build_architecture,
+    build_ffnn,
+    build_lenet5,
+    multiply_counts,
+)
+from repro.models.zoo import (
+    DEFAULT_CACHE_DIR,
+    TrainedModel,
+    trained_alexnet,
+    trained_ffnn,
+    trained_lenet5,
+    trained_model,
+)
+
+__all__ = [
+    "build_ffnn",
+    "build_lenet5",
+    "build_alexnet",
+    "build_architecture",
+    "multiply_counts",
+    "ARCHITECTURES",
+    "MNIST_SHAPE",
+    "CIFAR_SHAPE",
+    "NUM_CLASSES",
+    "TrainedModel",
+    "trained_lenet5",
+    "trained_ffnn",
+    "trained_alexnet",
+    "trained_model",
+    "DEFAULT_CACHE_DIR",
+]

@@ -1,0 +1,147 @@
+"""Model architectures used in the paper.
+
+* LeNet-5 — "two sets of convolutional and average pooling layers, followed
+  by a flattening convolutional layer, two fully-connected layers, and
+  finally a softmax classifier" (Section IV.A).
+* AlexNet — "five convolutional layers, three average pooling layers, and two
+  fully connected layers", scaled to 32x32 CIFAR-style inputs.
+* FFNN — the small feed-forward network of the motivational case study
+  (Fig. 1).
+
+The networks use ReLU activations; the classifier layers output logits and
+training uses softmax cross-entropy (the softmax classifier of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    ReLU,
+    Sequential,
+)
+
+MNIST_SHAPE: Tuple[int, int, int] = (28, 28, 1)
+CIFAR_SHAPE: Tuple[int, int, int] = (32, 32, 3)
+NUM_CLASSES = 10
+
+
+def build_ffnn(
+    input_shape: Tuple[int, int, int] = MNIST_SHAPE,
+    hidden_units: Sequence[int] = (128, 64),
+    num_classes: int = NUM_CLASSES,
+    seed: int = 0,
+) -> Sequential:
+    """The feed-forward network of the motivational case study (Fig. 1)."""
+    layers = [Flatten()]
+    for units in hidden_units:
+        layers.append(Dense(units))
+        layers.append(ReLU())
+    layers.append(Dense(num_classes))
+    return Sequential(layers, input_shape=input_shape, name="ffnn", seed=seed)
+
+
+def build_lenet5(
+    input_shape: Tuple[int, int, int] = MNIST_SHAPE,
+    num_classes: int = NUM_CLASSES,
+    seed: int = 0,
+) -> Sequential:
+    """LeNet-5 with ReLU activations and average pooling."""
+    height = input_shape[0]
+    # spatial size reaching the flattening convolution: ((H-4)/2 - 4) / 2
+    flattening_kernel = ((height - 4) // 2 - 4) // 2
+    layers = [
+        Conv2D(6, kernel_size=5, padding="valid"),
+        ReLU(),
+        AvgPool2D(pool_size=2),
+        Conv2D(16, kernel_size=5, padding="valid"),
+        ReLU(),
+        AvgPool2D(pool_size=2),
+        # the "flattening convolutional layer" of the paper: a valid
+        # convolution whose kernel covers the whole remaining feature map
+        Conv2D(120, kernel_size=flattening_kernel, padding="valid"),
+        ReLU(),
+        Flatten(),
+        Dense(84),
+        ReLU(),
+        Dense(num_classes),
+    ]
+    return Sequential(layers, input_shape=input_shape, name="lenet5", seed=seed)
+
+
+def build_alexnet(
+    input_shape: Tuple[int, int, int] = CIFAR_SHAPE,
+    num_classes: int = NUM_CLASSES,
+    seed: int = 0,
+    dropout_rate: float = 0.2,
+) -> Sequential:
+    """A CIFAR-scale AlexNet: five conv layers, three average pools, two FC layers."""
+    layers = [
+        Conv2D(16, kernel_size=3, padding="same"),
+        ReLU(),
+        AvgPool2D(pool_size=2),
+        Conv2D(32, kernel_size=3, padding="same"),
+        ReLU(),
+        AvgPool2D(pool_size=2),
+        Conv2D(48, kernel_size=3, padding="same"),
+        ReLU(),
+        Conv2D(48, kernel_size=3, padding="same"),
+        ReLU(),
+        Conv2D(32, kernel_size=3, padding="same"),
+        ReLU(),
+        AvgPool2D(pool_size=2),
+        Flatten(),
+        Dense(128),
+        ReLU(),
+        Dropout(dropout_rate, seed=seed),
+        Dense(64),
+        ReLU(),
+        Dense(num_classes),
+    ]
+    return Sequential(layers, input_shape=input_shape, name="alexnet", seed=seed)
+
+
+ARCHITECTURES = {
+    "ffnn": build_ffnn,
+    "lenet5": build_lenet5,
+    "alexnet": build_alexnet,
+}
+
+
+def build_architecture(name: str, **kwargs) -> Sequential:
+    """Build a named architecture (``ffnn`` / ``lenet5`` / ``alexnet``)."""
+    try:
+        builder = ARCHITECTURES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        ) from exc
+    return builder(**kwargs)
+
+
+def multiply_counts(model: Sequential) -> list:
+    """Number of scalar multiplications per compute layer for one input sample.
+
+    Used by the energy model to compare approximate-multiplier configurations.
+    """
+    counts = []
+    shape = model.input_shape
+    for layer in model.layers:
+        out_shape = layer.output_shape(shape)
+        if isinstance(layer, Conv2D):
+            kernel = layer.kernel_size
+            in_channels = shape[2]
+            per_position = kernel * kernel * in_channels
+            positions = out_shape[0] * out_shape[1]
+            counts.append(int(positions * per_position * layer.filters))
+        elif isinstance(layer, Dense):
+            counts.append(int(np.prod(shape) * layer.units))
+        shape = out_shape
+    return counts

@@ -1,0 +1,196 @@
+"""Train-and-cache model zoo.
+
+Examples, tests and benchmarks all need the same trained accurate models
+(AccL5, AccAlx, the FFNN).  Training them takes tens of seconds on CPU, so
+this module trains each configuration once and caches the weights (plus the
+reached accuracy) under a cache directory; later calls load the weights.
+
+The cache key encodes the architecture, the dataset generator parameters and
+the training budget, so changing any of those retrains automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets import Dataset, load_synthetic_cifar10, load_synthetic_mnist
+from repro.models.architectures import build_alexnet, build_ffnn, build_lenet5
+from repro.nn import Adam, Sequential, Trainer, load_weights, save_weights
+
+#: default cache directory (repository-local, overridable via environment)
+DEFAULT_CACHE_DIR = os.environ.get(
+    "REPRO_MODEL_CACHE", os.path.join(os.path.expanduser("~"), ".cache", "repro-models")
+)
+
+
+@dataclass
+class TrainedModel:
+    """A trained accurate model together with its dataset and test accuracy."""
+
+    model: Sequential
+    dataset: Dataset
+    test_accuracy: float
+
+    @property
+    def baseline_accuracy_percent(self) -> float:
+        """Clean test accuracy in percent (the paper's A_th baseline)."""
+        return self.test_accuracy * 100.0
+
+
+def _cache_paths(cache_dir: str, key: str) -> Tuple[str, str]:
+    weights = os.path.join(cache_dir, f"{key}.npz")
+    meta = os.path.join(cache_dir, f"{key}.json")
+    return weights, meta
+
+
+def _train(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int,
+    learning_rate: float,
+    batch_size: int,
+    seed: int,
+) -> float:
+    trainer = Trainer(model, optimizer=Adam(learning_rate), seed=seed)
+    trainer.fit(
+        dataset.train.images,
+        dataset.train.labels,
+        epochs=epochs,
+        batch_size=batch_size,
+        shuffle=True,
+    )
+    return trainer.evaluate(dataset.test.images, dataset.test.labels)
+
+
+def _load_or_train(
+    key: str,
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int,
+    learning_rate: float,
+    batch_size: int,
+    seed: int,
+    cache_dir: Optional[str],
+    force_retrain: bool = False,
+) -> TrainedModel:
+    cache_dir = cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR
+    os.makedirs(cache_dir, exist_ok=True)
+    weights_path, meta_path = _cache_paths(cache_dir, key)
+    if not force_retrain and os.path.exists(weights_path) and os.path.exists(meta_path):
+        try:
+            load_weights(model, weights_path)
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+            return TrainedModel(
+                model=model, dataset=dataset, test_accuracy=meta["test_accuracy"]
+            )
+        except Exception:
+            # a stale or incompatible cache entry (e.g. written by an older
+            # version of the library) is silently discarded and retrained
+            pass
+    accuracy = _train(model, dataset, epochs, learning_rate, batch_size, seed)
+    save_weights(model, weights_path)
+    with open(meta_path, "w") as handle:
+        json.dump({"test_accuracy": accuracy, "epochs": epochs}, handle)
+    return TrainedModel(model=model, dataset=dataset, test_accuracy=accuracy)
+
+
+def trained_lenet5(
+    n_train: int = 2000,
+    n_test: int = 400,
+    epochs: int = 4,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> TrainedModel:
+    """The accurate LeNet-5 (AccL5) trained on synthetic MNIST."""
+    dataset = load_synthetic_mnist(n_train=n_train, n_test=n_test, seed=seed)
+    model = build_lenet5(seed=seed)
+    key = f"lenet5_mnist_n{n_train}_t{n_test}_e{epochs}_s{seed}"
+    return _load_or_train(
+        key, model, dataset, epochs, 1e-3, 32, seed, cache_dir, force_retrain
+    )
+
+
+def trained_ffnn(
+    n_train: int = 2000,
+    n_test: int = 400,
+    epochs: int = 4,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> TrainedModel:
+    """The accurate FFNN of the motivational case study, on synthetic MNIST."""
+    dataset = load_synthetic_mnist(n_train=n_train, n_test=n_test, seed=seed)
+    model = build_ffnn(seed=seed)
+    key = f"ffnn_mnist_n{n_train}_t{n_test}_e{epochs}_s{seed}"
+    return _load_or_train(
+        key, model, dataset, epochs, 1e-3, 32, seed, cache_dir, force_retrain
+    )
+
+
+def trained_alexnet(
+    n_train: int = 2000,
+    n_test: int = 400,
+    epochs: int = 6,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> TrainedModel:
+    """The accurate AlexNet (AccAlx) trained on synthetic CIFAR-10."""
+    dataset = load_synthetic_cifar10(n_train=n_train, n_test=n_test, seed=seed)
+    model = build_alexnet(seed=seed)
+    key = f"alexnet_cifar_n{n_train}_t{n_test}_e{epochs}_s{seed}"
+    return _load_or_train(
+        key, model, dataset, epochs, 1e-3, 32, seed, cache_dir, force_retrain
+    )
+
+
+def trained_model(
+    architecture: str,
+    dataset_name: str,
+    n_train: int = 1500,
+    n_test: int = 300,
+    epochs: int = 4,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    force_retrain: bool = False,
+) -> TrainedModel:
+    """Train (and cache) any architecture on any synthetic dataset.
+
+    This is the generic entry point behind the transferability experiments
+    (Table II), which need every architecture trained on every dataset —
+    e.g. an AlexNet trained on MNIST-shaped inputs.
+
+    Parameters
+    ----------
+    architecture:
+        ``"ffnn"``, ``"lenet5"`` or ``"alexnet"``.
+    dataset_name:
+        ``"mnist"`` or ``"cifar10"`` (the synthetic substitutes).
+    """
+    from repro.models.architectures import build_architecture
+
+    dataset_name = dataset_name.lower()
+    if dataset_name in ("mnist", "synthetic-mnist"):
+        dataset = load_synthetic_mnist(n_train=n_train, n_test=n_test, seed=seed)
+    elif dataset_name in ("cifar10", "cifar-10", "synthetic-cifar10"):
+        dataset = load_synthetic_cifar10(n_train=n_train, n_test=n_test, seed=seed)
+    else:
+        raise ValueError(
+            f"unknown dataset {dataset_name!r}; expected 'mnist' or 'cifar10'"
+        )
+    model = build_architecture(
+        architecture, input_shape=dataset.image_shape, seed=seed
+    )
+    key = (
+        f"{architecture}_{dataset.name}_n{n_train}_t{n_test}_e{epochs}_s{seed}"
+    )
+    return _load_or_train(
+        key, model, dataset, epochs, 1e-3, 32, seed, cache_dir, force_retrain
+    )

@@ -1,0 +1,106 @@
+"""Approximate multiplier library (the EvoApprox8b substitute).
+
+Public surface:
+
+* :class:`repro.multipliers.base.Multiplier` — the multiplier interface
+  (behavioural evaluation + cached product LUT);
+* behavioural families in :mod:`repro.multipliers.behavioral`;
+* named EvoApprox-style instances in :mod:`repro.multipliers.evoapprox`;
+* the registry helpers :func:`get_multiplier`, :data:`LENET_MULTIPLIERS`,
+  :data:`ALEXNET_MULTIPLIERS` in :mod:`repro.multipliers.library`;
+* error metrics in :mod:`repro.multipliers.metrics`;
+* the hardware-cost model in :mod:`repro.multipliers.energy`.
+"""
+
+from repro.multipliers.base import CircuitMultiplier, LUTMultiplier, Multiplier
+from repro.multipliers.behavioral import (
+    BrokenCarryMultiplier,
+    DrumMultiplier,
+    ExactMultiplier,
+    LowerColumnOrMultiplier,
+    MitchellLogMultiplier,
+    NoisyLSBMultiplier,
+    OperandTruncationMultiplier,
+    PartialProductTruncationMultiplier,
+)
+from repro.multipliers.energy import (
+    HARDWARE_COSTS,
+    HardwareCost,
+    energy_per_mac_pj,
+    energy_saving_percent,
+    hardware_cost,
+    model_multiply_energy_pj,
+)
+from repro.multipliers.library import (
+    ACCURATE_MULTIPLIER,
+    ALEXNET_MULTIPLIERS,
+    LENET_MULTIPLIERS,
+    alexnet_set,
+    clear_cache,
+    error_reports,
+    get_multiplier,
+    lenet_set,
+    list_multipliers,
+    paper_label,
+    resolve_name,
+)
+from repro.multipliers.metrics import (
+    MultiplierErrorReport,
+    error_probability,
+    error_report,
+    mean_absolute_error,
+    mean_error,
+    mean_relative_error,
+    worst_case_error,
+)
+from repro.multipliers.selection import (
+    MultiplierScreeningReport,
+    MultiplierScreeningResult,
+    rank_by_energy_at_accuracy,
+    select_resilient_multipliers,
+)
+from repro.multipliers.signed import SignedMultiplierView, signed_multiply
+
+__all__ = [
+    "Multiplier",
+    "LUTMultiplier",
+    "CircuitMultiplier",
+    "ExactMultiplier",
+    "OperandTruncationMultiplier",
+    "PartialProductTruncationMultiplier",
+    "LowerColumnOrMultiplier",
+    "BrokenCarryMultiplier",
+    "MitchellLogMultiplier",
+    "DrumMultiplier",
+    "NoisyLSBMultiplier",
+    "MultiplierErrorReport",
+    "error_report",
+    "error_reports",
+    "mean_absolute_error",
+    "worst_case_error",
+    "mean_relative_error",
+    "error_probability",
+    "mean_error",
+    "signed_multiply",
+    "SignedMultiplierView",
+    "select_resilient_multipliers",
+    "rank_by_energy_at_accuracy",
+    "MultiplierScreeningReport",
+    "MultiplierScreeningResult",
+    "get_multiplier",
+    "resolve_name",
+    "list_multipliers",
+    "lenet_set",
+    "alexnet_set",
+    "paper_label",
+    "clear_cache",
+    "LENET_MULTIPLIERS",
+    "ALEXNET_MULTIPLIERS",
+    "ACCURATE_MULTIPLIER",
+    "HardwareCost",
+    "HARDWARE_COSTS",
+    "hardware_cost",
+    "energy_per_mac_pj",
+    "energy_saving_percent",
+    "model_multiply_energy_pj",
+]

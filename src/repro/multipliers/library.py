@@ -1,0 +1,110 @@
+"""Registry of named multipliers and the paper's multiplier groups.
+
+The paper's figures index multipliers by position (M1..M9 for the LeNet-5 /
+MNIST experiments, and an eight-entry set for the AlexNet / CIFAR-10
+experiments).  This module maps those paper labels onto the named instances
+in :mod:`repro.multipliers.evoapprox` and provides a small caching registry
+so that look-up tables are built once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import UnknownComponentError
+from repro.multipliers import evoapprox
+from repro.multipliers.base import Multiplier
+from repro.multipliers.metrics import MultiplierErrorReport, error_report
+
+#: paper label -> EvoApprox-style name, LeNet-5 / MNIST set (Fig. 4-6, M1..M9)
+LENET_MULTIPLIERS: Dict[str, str] = {
+    "M1": "mul8u_1JFF",
+    "M2": "mul8u_96D",
+    "M3": "mul8u_12N4",
+    "M4": "mul8u_17KS",
+    "M5": "mul8u_1AGV",
+    "M6": "mul8u_FTA",
+    "M7": "mul8u_JQQ",
+    "M8": "mul8u_L40",
+    "M9": "mul8u_JV3",
+}
+
+#: paper label -> EvoApprox-style name, AlexNet / CIFAR-10 set (Fig. 7, A1..A8)
+ALEXNET_MULTIPLIERS: Dict[str, str] = {
+    "A1": "mul8u_1JFF",
+    "A2": "mul8u_2P7",
+    "A3": "mul8u_KEM",
+    "A4": "mul8u_150Q",
+    "A5": "mul8u_14VP",
+    "A6": "mul8u_QJD",
+    "A7": "mul8u_1446",
+    "A8": "mul8u_GS2",
+}
+
+#: name of the accurate multiplier used throughout the paper
+ACCURATE_MULTIPLIER = "mul8u_1JFF"
+
+_CACHE: Dict[str, Multiplier] = {}
+
+
+def get_multiplier(name: str) -> Multiplier:
+    """Return a (process-wide cached) multiplier by EvoApprox-style name or paper label.
+
+    Accepts either the library name (``"mul8u_17KS"``) or a paper label
+    (``"M4"`` / ``"A3"``).
+    """
+    resolved = resolve_name(name)
+    if resolved not in _CACHE:
+        _CACHE[resolved] = evoapprox.build(resolved)
+    return _CACHE[resolved]
+
+
+def resolve_name(name: str) -> str:
+    """Map a paper label (M1..M9 / A1..A8) or library name to the library name."""
+    if name in LENET_MULTIPLIERS:
+        return LENET_MULTIPLIERS[name]
+    if name in ALEXNET_MULTIPLIERS:
+        return ALEXNET_MULTIPLIERS[name]
+    if name in evoapprox.available_names():
+        return name
+    raise UnknownComponentError(
+        f"unknown multiplier {name!r}; known labels: "
+        f"{sorted(LENET_MULTIPLIERS) + sorted(ALEXNET_MULTIPLIERS)} and library names: "
+        f"{evoapprox.available_names()}"
+    )
+
+
+def list_multipliers() -> List[str]:
+    """All registered library names."""
+    return evoapprox.available_names()
+
+
+def lenet_set() -> List[Multiplier]:
+    """Multiplier instances for the LeNet-5 experiments, ordered M1..M9."""
+    return [get_multiplier(label) for label in sorted(LENET_MULTIPLIERS)]
+
+
+def alexnet_set() -> List[Multiplier]:
+    """Multiplier instances for the AlexNet experiments, ordered A1..A8."""
+    return [get_multiplier(label) for label in sorted(ALEXNET_MULTIPLIERS)]
+
+
+def paper_label(name: str, group: str = "lenet") -> Optional[str]:
+    """Return the paper label (M*/A*) of a library name within a group, if any."""
+    mapping = LENET_MULTIPLIERS if group == "lenet" else ALEXNET_MULTIPLIERS
+    for label, library_name in mapping.items():
+        if library_name == name:
+            return label
+    return None
+
+
+def error_reports(names: Optional[Sequence[str]] = None) -> List[MultiplierErrorReport]:
+    """Error reports for a list of multipliers (default: the whole library)."""
+    if names is None:
+        names = list_multipliers()
+    return [error_report(get_multiplier(name)) for name in names]
+
+
+def clear_cache() -> None:
+    """Drop all cached multiplier instances (and their LUTs)."""
+    _CACHE.clear()

@@ -1,0 +1,93 @@
+"""Error metrics for approximate multipliers.
+
+All metrics are computed from the full product look-up table, following the
+definitions used by the EvoApprox8b library (Mrazek et al., DATE 2017):
+
+* MAE  — mean absolute error, normalised by the maximum exact product and
+  reported as a percentage (this is the number quoted in the paper, e.g.
+  "MAE 17KS = 0.52%").
+* WCE  — worst-case absolute error (also normalised, in percent).
+* MRE  — mean relative error over non-zero exact products (in percent).
+* error probability — fraction of operand pairs with a wrong product.
+* mean error (bias) — mean signed error, normalised, in percent; negative
+  values mean the multiplier under-estimates on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multipliers.base import Multiplier
+
+
+@dataclass(frozen=True)
+class MultiplierErrorReport:
+    """Summary of a multiplier's arithmetic error characteristics."""
+
+    name: str
+    bit_width: int
+    mae_percent: float
+    wce_percent: float
+    mre_percent: float
+    error_probability: float
+    mean_error_percent: float
+
+    def as_dict(self) -> dict:
+        """Return the report as a plain dictionary (JSON-friendly)."""
+        return {
+            "name": self.name,
+            "bit_width": self.bit_width,
+            "mae_percent": self.mae_percent,
+            "wce_percent": self.wce_percent,
+            "mre_percent": self.mre_percent,
+            "error_probability": self.error_probability,
+            "mean_error_percent": self.mean_error_percent,
+        }
+
+
+def mean_absolute_error(multiplier: Multiplier) -> float:
+    """MAE as a percentage of the maximum exact product."""
+    error = np.abs(multiplier.error_lut().astype(np.float64))
+    return float(error.mean() / multiplier.product_max * 100.0)
+
+
+def worst_case_error(multiplier: Multiplier) -> float:
+    """Worst-case absolute error as a percentage of the maximum exact product."""
+    error = np.abs(multiplier.error_lut().astype(np.float64))
+    return float(error.max() / multiplier.product_max * 100.0)
+
+
+def mean_relative_error(multiplier: Multiplier) -> float:
+    """Mean relative error (percent) over operand pairs with non-zero product."""
+    exact = multiplier.exact_lut().astype(np.float64)
+    error = np.abs(multiplier.error_lut().astype(np.float64))
+    mask = exact > 0
+    if not np.any(mask):
+        return 0.0
+    return float((error[mask] / exact[mask]).mean() * 100.0)
+
+
+def error_probability(multiplier: Multiplier) -> float:
+    """Fraction of operand pairs whose product is wrong."""
+    return float(np.mean(multiplier.error_lut() != 0))
+
+
+def mean_error(multiplier: Multiplier) -> float:
+    """Mean signed error (bias) as a percentage of the maximum exact product."""
+    error = multiplier.error_lut().astype(np.float64)
+    return float(error.mean() / multiplier.product_max * 100.0)
+
+
+def error_report(multiplier: Multiplier) -> MultiplierErrorReport:
+    """Compute the full :class:`MultiplierErrorReport` for a multiplier."""
+    return MultiplierErrorReport(
+        name=multiplier.name,
+        bit_width=multiplier.bit_width,
+        mae_percent=mean_absolute_error(multiplier),
+        wce_percent=worst_case_error(multiplier),
+        mre_percent=mean_relative_error(multiplier),
+        error_probability=error_probability(multiplier),
+        mean_error_percent=mean_error(multiplier),
+    )

@@ -1,0 +1,48 @@
+"""Signed multiplication on top of unsigned approximate multipliers.
+
+The EvoApprox multipliers used by the paper are unsigned.  Quantized DNN
+inference needs signed x unsigned (weights x activations) and occasionally
+signed x signed products; the standard accelerator construction — and the one
+TFApprox uses — is sign-magnitude: the product magnitude goes through the
+unsigned approximate multiplier and the sign is re-applied afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.multipliers.base import Multiplier
+
+
+def signed_multiply(multiplier: Multiplier, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sign-magnitude product of (possibly signed) integer arrays ``a`` and ``b``.
+
+    Magnitudes must fit in the multiplier's operand range.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    mag_a = np.abs(a)
+    mag_b = np.abs(b)
+    limit = multiplier.operand_max
+    if np.any(mag_a > limit) or np.any(mag_b > limit):
+        raise ConfigurationError(
+            f"operand magnitudes exceed the {multiplier.bit_width}-bit range of "
+            f"{multiplier.name}"
+        )
+    sign = np.sign(a) * np.sign(b)
+    return sign * multiplier.multiply(mag_a, mag_b)
+
+
+class SignedMultiplierView:
+    """Callable wrapper giving a signed interface to an unsigned multiplier."""
+
+    def __init__(self, multiplier: Multiplier) -> None:
+        self.multiplier = multiplier
+        self.name = f"{multiplier.name}_signed"
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return signed_multiply(self.multiplier, a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SignedMultiplierView({self.multiplier.name!r})"

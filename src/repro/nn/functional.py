@@ -1,0 +1,117 @@
+"""Low-level tensor operations shared by the layers.
+
+All image tensors use the NHWC layout ``(batch, height, width, channels)``.
+``im2col``/``col2im`` are implemented with small Python loops over the kernel
+offsets (at most ``kh * kw`` iterations), which keeps them simple, exactly
+invertible, and fast enough for the model sizes used in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nhwc(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NHWC tensor."""
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (padding, padding), (padding, padding), (0, 0)), mode="constant"
+    )
+
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> np.ndarray:
+    """Extract convolution patches from an NHWC tensor.
+
+    Returns an array of shape ``(N, OH, OW, kernel_h * kernel_w * C)`` whose
+    last axis is ordered kernel-row-major then channel (matching the weight
+    flattening used by :class:`repro.nn.layers.conv.Conv2D`).
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects an NHWC tensor, got shape {x.shape}")
+    batch, height, width, channels = x.shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    x_padded = pad_nhwc(x, padding)
+    cols = np.empty(
+        (batch, out_h, out_w, kernel_h * kernel_w * channels), dtype=x.dtype
+    )
+    for i in range(kernel_h):
+        for j in range(kernel_w):
+            patch = x_padded[
+                :, i : i + out_h * stride : stride, j : j + out_w * stride : stride, :
+            ]
+            offset = (i * kernel_w + j) * channels
+            cols[..., offset : offset + channels] = patch
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patches back into an NHWC tensor (the adjoint of im2col)."""
+    batch, height, width, channels = input_shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    expected = (batch, out_h, out_w, kernel_h * kernel_w * channels)
+    if cols.shape != expected:
+        raise ShapeError(f"col2im expects shape {expected}, got {cols.shape}")
+    x_padded = np.zeros(
+        (batch, height + 2 * padding, width + 2 * padding, channels), dtype=cols.dtype
+    )
+    for i in range(kernel_h):
+        for j in range(kernel_w):
+            offset = (i * kernel_w + j) * channels
+            x_padded[
+                :, i : i + out_h * stride : stride, j : j + out_w * stride : stride, :
+            ] += cols[..., offset : offset + channels]
+    if padding == 0:
+        return x_padded
+    return x_padded[:, padding:-padding, padding:-padding, :]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be a 1-D vector, got shape {labels.shape}")
+    if np.any(labels < 0) or np.any(labels >= num_classes):
+        raise ShapeError(f"labels must lie in [0, {num_classes - 1}]")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

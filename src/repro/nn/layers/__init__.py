@@ -1,0 +1,26 @@
+"""Layer zoo for the NumPy DNN framework."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.activations import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.norm import BatchNorm
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Flatten
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "AvgPool2D",
+    "MaxPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "BatchNorm",
+]

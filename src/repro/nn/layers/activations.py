@@ -1,0 +1,61 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-x))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Models in this package are normally trained on logits with
+    :class:`repro.nn.losses.CrossEntropyLoss`, which applies softmax
+    internally; this layer exists for inference-time probability outputs and
+    for architectures that explicitly end in a softmax classifier.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = softmax(x, axis=-1)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        # Jacobian-vector product of softmax: s * (g - sum(g * s))
+        s = self._output
+        dot = np.sum(grad_output * s, axis=-1, keepdims=True)
+        return s * (grad_output - dot)

@@ -1,0 +1,71 @@
+"""Layer interface for the NumPy DNN framework.
+
+Each layer implements ``forward`` and ``backward``; trainable layers expose
+their parameters and the gradients computed during the last backward pass
+through the ``params`` and ``grads`` dictionaries.  Layers cache whatever
+they need from the forward pass to compute the backward pass, so a backward
+call must always follow the forward call whose inputs it differentiates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: counter used to derive unique default names per subclass
+    _instance_counts: Dict[str, int] = {}
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        #: True when the layer was not given an explicit name; Sequential
+        #: renames auto-named layers positionally at build time so that two
+        #: builds of the same architecture produce identical state dicts.
+        self.auto_named = name is None
+        if name is None:
+            cls = type(self).__name__.lower()
+            count = Layer._instance_counts.get(cls, 0) + 1
+            Layer._instance_counts[cls] = count
+            name = f"{cls}_{count}"
+        self.name = name
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.built = False
+
+    # ------------------------------------------------------------------ API
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        """Create parameters for a given input shape (excluding batch dim)."""
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Shape (excluding batch dim) produced for a given input shape."""
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate gradients; fills ``self.grads`` and returns grad wrt input."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------- utilities
+    @property
+    def trainable(self) -> bool:
+        """True when the layer owns parameters."""
+        return bool(self.params)
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    @classmethod
+    def reset_name_counters(cls) -> None:
+        """Reset the automatic name counters (used by tests for determinism)."""
+        cls._instance_counts.clear()

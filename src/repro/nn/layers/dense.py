@@ -1,0 +1,77 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+
+
+class Dense(Layer):
+    """A fully-connected layer: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    units:
+        Number of output features.
+    use_bias:
+        Whether to add a bias vector.
+    kernel_initializer:
+        Name of the weight initializer (see :mod:`repro.nn.initializers`).
+    """
+
+    def __init__(
+        self,
+        units: int,
+        use_bias: bool = True,
+        kernel_initializer: str = "he_normal",
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if units <= 0:
+            raise ConfigurationError(f"units must be positive, got {units}")
+        self.units = units
+        self.use_bias = use_bias
+        self.kernel_initializer = kernel_initializer
+        self._input_cache: Optional[np.ndarray] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 1:
+            raise ShapeError(
+                f"{self.name}: Dense expects flat inputs, got shape {input_shape}"
+            )
+        in_features = input_shape[0]
+        initializer = get_initializer(self.kernel_initializer)
+        self.params["weight"] = initializer((in_features, self.units), rng)
+        if self.use_bias:
+            self.params["bias"] = np.zeros(self.units, dtype=np.float64)
+        self.built = True
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"{self.name}: expected 2-D input, got shape {x.shape}")
+        # The input is cached in both training and evaluation mode: adversarial
+        # attacks need input gradients of the model in evaluation mode.
+        self._input_cache = x
+        y = x @ self.params["weight"]
+        if self.use_bias:
+            y = y + self.params["bias"]
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_cache is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward pass"
+            )
+        x = self._input_cache
+        self.grads["weight"] = x.T @ grad_output
+        if self.use_bias:
+            self.grads["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T

@@ -1,0 +1,126 @@
+"""Average and max pooling layers (NHWC layout)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.functional import conv_output_size
+from repro.nn.layers.base import Layer
+
+
+class _Pool2D(Layer):
+    """Shared geometry for 2-D pooling layers."""
+
+    def __init__(
+        self, pool_size: int = 2, stride: Optional[int] = None, name: Optional[str] = None
+    ) -> None:
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ConfigurationError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+        if self.stride <= 0:
+            raise ConfigurationError(f"stride must be positive, got {self.stride}")
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        height, width, channels = input_shape
+        out_h = conv_output_size(height, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(width, self.pool_size, self.stride, 0)
+        return (out_h, out_w, channels)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """Stack pooling windows along a new axis: (N, OH, OW, C, k*k)."""
+        batch, height, width, channels = x.shape
+        out_h = conv_output_size(height, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(width, self.pool_size, self.stride, 0)
+        windows = np.empty(
+            (batch, out_h, out_w, channels, self.pool_size * self.pool_size),
+            dtype=x.dtype,
+        )
+        for i in range(self.pool_size):
+            for j in range(self.pool_size):
+                windows[..., i * self.pool_size + j] = x[
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                    :,
+                ]
+        return windows
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling, as used by the paper's LeNet-5 and AlexNet variants."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
+        self._input_shape = x.shape
+        return self._windows(x).mean(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, height, width, channels = self._input_shape
+        out_h, out_w = grad_output.shape[1], grad_output.shape[2]
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        share = grad_output / (self.pool_size * self.pool_size)
+        for i in range(self.pool_size):
+            for j in range(self.pool_size):
+                grad_input[
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                    :,
+                ] += share
+        return grad_input
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
+        self._input_shape = x.shape
+        windows = self._windows(x)
+        self._argmax = windows.argmax(axis=-1)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, height, width, channels = self._input_shape
+        out_h, out_w = grad_output.shape[1], grad_output.shape[2]
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        for i in range(self.pool_size):
+            for j in range(self.pool_size):
+                mask = self._argmax == (i * self.pool_size + j)
+                grad_input[
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                    :,
+                ] += grad_output * mask
+        return grad_input
+
+
+class GlobalAvgPool2D(Layer):
+    """Global average pooling over the spatial dimensions."""
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (input_shape[2],)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
+        self._input_shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, height, width, channels = self._input_shape
+        scale = 1.0 / (height * width)
+        return (
+            np.broadcast_to(
+                grad_output[:, None, None, :], self._input_shape
+            ).astype(grad_output.dtype)
+            * scale
+        )

@@ -1,0 +1,197 @@
+"""The :class:`Sequential` model container.
+
+A ``Sequential`` model owns an ordered list of layers, builds their
+parameters lazily from an input shape, and provides the three capabilities
+the paper's methodology needs:
+
+* training (forward + backward + optimizer step, via
+  :class:`repro.nn.trainer.Trainer`);
+* batched inference (``predict`` / ``predict_classes``); and
+* input gradients of a loss (``input_gradient``), which is what the
+  gradient-based adversarial attacks consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+from repro.nn.layers.base import Layer
+from repro.nn.losses import CrossEntropyLoss, Loss
+
+
+class Sequential:
+    """An ordered stack of layers."""
+
+    def __init__(
+        self,
+        layers: Optional[Sequence[Layer]] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+        name: str = "sequential",
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.layers: List[Layer] = list(layers) if layers is not None else []
+        self.input_shape: Optional[Tuple[int, ...]] = (
+            tuple(input_shape) if input_shape is not None else None
+        )
+        self._seed = seed
+        self._built = False
+        if self.input_shape is not None and self.layers:
+            self.build(self.input_shape)
+
+    # ---------------------------------------------------------------- build
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer (returns self for chaining)."""
+        if self._built:
+            raise ConfigurationError("cannot add layers after the model is built")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Build every layer's parameters for the given per-sample input shape."""
+        if not self.layers:
+            raise ConfigurationError("cannot build a model without layers")
+        rng = np.random.default_rng(self._seed)
+        shape = tuple(input_shape)
+        self.input_shape = shape
+        for position, layer in enumerate(self.layers):
+            if getattr(layer, "auto_named", False):
+                # positional names make state dicts of two builds of the same
+                # architecture compatible (weight caching, serialization)
+                layer.name = f"{type(layer).__name__.lower()}_{position}"
+            layer.build(shape, rng)
+            shape = layer.output_shape(shape)
+        self.output_shape = shape
+        self._built = True
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise NotFittedError(
+                f"model {self.name!r} is not built; call build(input_shape) first"
+            )
+
+    # -------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full forward pass on a batch."""
+        self._require_built()
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate a gradient through every layer (reverse order)."""
+        self._require_built()
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Batched inference returning the final layer output (e.g. logits)."""
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outputs, axis=0)
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Predicted class labels."""
+        return np.argmax(self.predict(x, batch_size=batch_size), axis=-1)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x, training=False)
+
+    # ---------------------------------------------------- attack interface
+    def input_gradient(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Optional[Loss] = None,
+    ) -> np.ndarray:
+        """Gradient of ``loss(model(x), y)`` with respect to the input batch.
+
+        This is the primitive used by the gradient-based adversarial attacks
+        (FGM / BIM / PGD).  The model is evaluated in inference mode (no
+        dropout noise), matching how Foolbox drives a model.
+        """
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        loss = loss if loss is not None else CrossEntropyLoss()
+        logits = self.forward(x, training=False)
+        grad_logits = loss.gradient(logits, y)
+        return self.backward(grad_logits)
+
+    def loss_and_input_gradient(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Optional[Loss] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Return ``(loss value, input gradient)`` in a single pass."""
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        loss = loss if loss is not None else CrossEntropyLoss()
+        logits = self.forward(x, training=False)
+        value = loss.value(logits, y)
+        grad = self.backward(loss.gradient(logits, y))
+        return value, grad
+
+    # ------------------------------------------------------------ parameters
+    def trainable_layers(self) -> List[Layer]:
+        """Layers that own parameters."""
+        return [layer for layer in self.layers if layer.trainable]
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters in the model."""
+        return sum(layer.parameter_count() for layer in self.layers)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter keyed by ``layer_name/param_name``."""
+        self._require_built()
+        state = {}
+        for layer in self.layers:
+            for pname, value in layer.params.items():
+                state[f"{layer.name}/{pname}"] = value.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`state_dict` (shapes must match)."""
+        self._require_built()
+        for layer in self.layers:
+            for pname in layer.params:
+                key = f"{layer.name}/{pname}"
+                if key not in state:
+                    raise ShapeError(f"missing parameter {key!r} in state dict")
+                value = np.asarray(state[key], dtype=np.float64)
+                if value.shape != layer.params[pname].shape:
+                    raise ShapeError(
+                        f"parameter {key!r} has shape {value.shape}, expected "
+                        f"{layer.params[pname].shape}"
+                    )
+                layer.params[pname] = value.copy()
+
+    # ------------------------------------------------------------ reporting
+    def summary(self) -> str:
+        """Human-readable architecture summary."""
+        self._require_built()
+        lines = [f"Model: {self.name}"]
+        shape: Tuple[int, ...] = self.input_shape  # type: ignore[assignment]
+        lines.append(f"{'layer':<24} {'output shape':<20} {'params':>10}")
+        lines.append("-" * 56)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            lines.append(
+                f"{layer.name:<24} {str(shape):<20} {layer.parameter_count():>10}"
+            )
+        lines.append("-" * 56)
+        lines.append(f"total parameters: {self.parameter_count()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sequential(name={self.name!r}, layers={len(self.layers)})"

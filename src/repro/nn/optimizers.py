@@ -1,0 +1,106 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers.base import Layer
+
+#: a trainable parameter is addressed as (layer, parameter-name)
+ParameterRef = Tuple[Layer, str]
+
+
+class Optimizer:
+    """Base class: updates layer parameters in place from ``layer.grads``."""
+
+    def step(self, layers: Iterable[Layer]) -> None:
+        """Apply one update to every trainable parameter of ``layers``."""
+        for layer in layers:
+            for name, value in layer.params.items():
+                grad = layer.grads.get(name)
+                if grad is None:
+                    continue
+                self._update(layer, name, value, grad)
+
+    def _update(
+        self, layer: Layer, name: str, value: np.ndarray, grad: np.ndarray
+    ) -> None:
+        raise NotImplementedError
+
+    def _state_key(self, layer: Layer, name: str) -> str:
+        return f"{layer.name}/{name}"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self, learning_rate: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, layer, name, value, grad):
+        if self.weight_decay:
+            grad = grad + self.weight_decay * value
+        if self.momentum:
+            key = self._state_key(layer, name)
+            velocity = self._velocity.get(key)
+            if velocity is None:
+                velocity = np.zeros_like(value)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[key] = velocity
+            value += velocity
+        else:
+            value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be positive, got {learning_rate}")
+        for label, beta in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= beta < 1.0:
+                raise ConfigurationError(f"{label} must be in [0, 1), got {beta}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t: Dict[str, int] = {}
+
+    def _update(self, layer, name, value, grad):
+        if self.weight_decay:
+            grad = grad + self.weight_decay * value
+        key = self._state_key(layer, name)
+        m = self._m.get(key, np.zeros_like(value))
+        v = self._v.get(key, np.zeros_like(value))
+        t = self._t.get(key, 0) + 1
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+        self._m[key], self._v[key], self._t[key] = m, v, t
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,111 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.losses import CrossEntropyLoss, Loss
+from repro.nn.metrics import accuracy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer, SGD
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of losses and accuracies."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+
+    def last(self) -> Dict[str, float]:
+        """Metrics of the final epoch."""
+        result: Dict[str, float] = {}
+        if self.train_loss:
+            result["train_loss"] = self.train_loss[-1]
+        if self.train_accuracy:
+            result["train_accuracy"] = self.train_accuracy[-1]
+        if self.validation_accuracy:
+            result["validation_accuracy"] = self.validation_accuracy[-1]
+        return result
+
+
+class Trainer:
+    """Trains a :class:`repro.nn.model.Sequential` model with mini-batch SGD."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Optional[Loss] = None,
+        optimizer: Optional[Optimizer] = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.loss = loss if loss is not None else CrossEntropyLoss()
+        self.optimizer = optimizer if optimizer is not None else SGD(0.01, momentum=0.9)
+        self._rng = np.random.default_rng(seed)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(x, y)``; returns the history."""
+        if epochs <= 0:
+            raise ConfigurationError(f"epochs must be positive, got {epochs}")
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"x and y must have matching first dimensions, got {x.shape[0]} and "
+                f"{y.shape[0]}"
+            )
+        history = TrainingHistory()
+        n_samples = x.shape[0]
+        for epoch in range(epochs):
+            order = np.arange(n_samples)
+            if shuffle:
+                self._rng.shuffle(order)
+            epoch_losses = []
+            epoch_correct = 0
+            for start in range(0, n_samples, batch_size):
+                batch_idx = order[start : start + batch_size]
+                xb, yb = x[batch_idx], y[batch_idx]
+                logits = self.model.forward(xb, training=True)
+                batch_loss = self.loss.value(logits, yb)
+                grad = self.loss.gradient(logits, yb)
+                self.model.backward(grad)
+                self.optimizer.step(self.model.trainable_layers())
+                epoch_losses.append(batch_loss)
+                epoch_correct += int(np.sum(np.argmax(logits, axis=-1) == yb))
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.train_accuracy.append(epoch_correct / n_samples)
+            if validation_data is not None:
+                val_x, val_y = validation_data
+                val_acc = self.evaluate(val_x, val_y, batch_size=batch_size)
+                history.validation_accuracy.append(val_acc)
+            if verbose:  # pragma: no cover - console output
+                message = (
+                    f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
+                    f"train_acc={history.train_accuracy[-1]:.4f}"
+                )
+                if validation_data is not None:
+                    message += f" val_acc={history.validation_accuracy[-1]:.4f}"
+                print(message)
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
+        """Accuracy of the model on ``(x, y)``."""
+        predictions = self.model.predict_classes(x, batch_size=batch_size)
+        return accuracy(predictions, np.asarray(y, dtype=np.int64))

@@ -1,0 +1,31 @@
+"""Fixed-point (integer) quantization used by the approximate inference engine.
+
+The paper quantizes the inference path of both the accurate DNN and the
+AxDNNs to 8-bit fixed point before substituting the multipliers (Algorithm 1,
+line 7).  This package provides affine/symmetric quantization schemes,
+min/max calibration and a small container type for quantized tensors.
+"""
+
+from repro.quantization.schemes import (
+    AffineQuantization,
+    QuantizedTensor,
+    SymmetricQuantization,
+    calibrate_affine,
+    calibrate_symmetric,
+)
+from repro.quantization.quantizer import (
+    ActivationObserver,
+    LayerQuantizationConfig,
+    QuantizationConfig,
+)
+
+__all__ = [
+    "AffineQuantization",
+    "SymmetricQuantization",
+    "QuantizedTensor",
+    "calibrate_affine",
+    "calibrate_symmetric",
+    "ActivationObserver",
+    "LayerQuantizationConfig",
+    "QuantizationConfig",
+]

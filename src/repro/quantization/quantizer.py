@@ -1,0 +1,110 @@
+"""Model-level quantization configuration and activation calibration.
+
+The approximate inference engine quantizes, per compute layer,
+
+* the input activations with an unsigned affine scheme (activations are
+  non-negative after ReLU / input normalisation), and
+* the weights with a signed symmetric scheme (sign-magnitude products go
+  through the unsigned approximate multiplier, see
+  :mod:`repro.multipliers.signed`).
+
+:class:`ActivationObserver` records activation ranges over a calibration
+batch; :class:`QuantizationConfig` stores the resulting per-layer schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.quantization.schemes import (
+    AffineQuantization,
+    SymmetricQuantization,
+    calibrate_affine,
+    calibrate_symmetric,
+)
+
+
+class ActivationObserver:
+    """Tracks the running min/max of a tensor stream for calibration."""
+
+    def __init__(self) -> None:
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._count = 0
+
+    def update(self, x: np.ndarray) -> None:
+        """Fold one batch of activations into the running range."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return
+        batch_min = float(x.min())
+        batch_max = float(x.max())
+        self._min = batch_min if self._min is None else min(self._min, batch_min)
+        self._max = batch_max if self._max is None else max(self._max, batch_max)
+        self._count += 1
+
+    @property
+    def observed_batches(self) -> int:
+        return self._count
+
+    def affine_scheme(self, bits: int = 8) -> AffineQuantization:
+        """Build an affine scheme covering the observed range."""
+        if self._min is None or self._max is None:
+            raise CalibrationError("observer has not seen any data")
+        lo = min(self._min, 0.0)
+        hi = max(self._max, 0.0)
+        span = max(hi - lo, 1e-8)
+        qmax = (1 << bits) - 1
+        scale = span / qmax
+        zero_point = int(np.clip(np.round(-lo / scale), 0, qmax))
+        return AffineQuantization(scale=scale, zero_point=zero_point, bits=bits)
+
+
+@dataclass
+class LayerQuantizationConfig:
+    """Quantization schemes of a single compute layer."""
+
+    activation: AffineQuantization
+    weight: SymmetricQuantization
+
+    @classmethod
+    def calibrate(
+        cls, activations: np.ndarray, weights: np.ndarray, bits: int = 8
+    ) -> "LayerQuantizationConfig":
+        """Calibrate both schemes directly from sample tensors."""
+        return cls(
+            activation=calibrate_affine(activations, bits=bits),
+            weight=calibrate_symmetric(weights, bits=bits),
+        )
+
+
+@dataclass
+class QuantizationConfig:
+    """Per-layer quantization configuration for a whole model."""
+
+    bits: int = 8
+    layers: Dict[str, LayerQuantizationConfig] = field(default_factory=dict)
+
+    def add_layer(self, name: str, config: LayerQuantizationConfig) -> None:
+        """Register the schemes of a named layer."""
+        self.layers[name] = config
+
+    def layer(self, name: str) -> LayerQuantizationConfig:
+        """Return the schemes of a named layer."""
+        try:
+            return self.layers[name]
+        except KeyError as exc:
+            raise CalibrationError(
+                f"layer {name!r} has no quantization config; calibrated layers: "
+                f"{sorted(self.layers)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.layers
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,122 @@
+"""Algorithm 1 of the paper: percentage-robustness evaluation.
+
+The evaluation pipeline is exactly the paper's:
+
+1. adversarial examples are generated on the *source* model (the accurate
+   float DNN with accurate multipliers) for every perturbation budget;
+2. each victim model (the 8-bit quantized accurate DNN or an AxDNN) is
+   evaluated on those adversarial examples;
+3. the percentage robustness for a budget is the share of samples the victim
+   still classifies correctly, ``(1 - adv / |D|) * 100`` (Algorithm 1,
+   line 15).
+
+Adversarial example generation is the expensive part and is independent of
+the victim, so :class:`AdversarialSuite` materialises the examples once per
+(attack, epsilon) and every victim re-uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.errors import ConfigurationError
+from repro.nn.metrics import accuracy_percent
+from repro.nn.model import Sequential
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Robustness of one victim under one attack at one perturbation budget."""
+
+    victim: str
+    attack: str
+    epsilon: float
+    robustness_percent: float
+    n_samples: int
+
+
+@dataclass
+class AdversarialSuite:
+    """Adversarial examples for one attack over a sweep of budgets."""
+
+    attack_key: str
+    epsilons: List[float]
+    images: np.ndarray
+    labels: np.ndarray
+    adversarial: Dict[float, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def generate(
+        cls,
+        source_model: Sequential,
+        attack: Attack,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epsilons: Sequence[float],
+    ) -> "AdversarialSuite":
+        """Craft adversarial examples on the source model for every budget."""
+        if len(epsilons) == 0:
+            raise ConfigurationError("epsilons must contain at least one budget")
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        suite = cls(
+            attack_key=attack.key(),
+            epsilons=[float(eps) for eps in epsilons],
+            images=images,
+            labels=labels,
+        )
+        for epsilon in suite.epsilons:
+            suite.adversarial[epsilon] = attack.generate(
+                source_model, images, labels, epsilon
+            )
+        return suite
+
+    def evaluate(self, victim, victim_name: str) -> List[RobustnessResult]:
+        """Percentage robustness of a victim model for every budget.
+
+        ``victim`` is any object exposing ``predict_classes(images)`` — both
+        :class:`repro.nn.Sequential` (float models) and
+        :class:`repro.axnn.AxModel` qualify.
+        """
+        results = []
+        for epsilon in self.epsilons:
+            adversarial = self.adversarial[epsilon]
+            predictions = victim.predict_classes(adversarial)
+            robustness = accuracy_percent(predictions, self.labels)
+            results.append(
+                RobustnessResult(
+                    victim=victim_name,
+                    attack=self.attack_key,
+                    epsilon=epsilon,
+                    robustness_percent=robustness,
+                    n_samples=int(self.labels.shape[0]),
+                )
+            )
+        return results
+
+
+def evaluate_robustness(
+    source_model: Sequential,
+    victim,
+    attack: Attack,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epsilons: Sequence[float],
+    victim_name: str = "victim",
+) -> List[RobustnessResult]:
+    """One-shot convenience wrapper: generate the suite and evaluate one victim."""
+    suite = AdversarialSuite.generate(source_model, attack, images, labels, epsilons)
+    return suite.evaluate(victim, victim_name)
+
+
+def accuracy_loss(results: Sequence[RobustnessResult]) -> Dict[float, float]:
+    """Accuracy loss (vs the eps=0 row) per budget, as reported in the paper."""
+    by_eps = {result.epsilon: result.robustness_percent for result in results}
+    if 0.0 not in by_eps:
+        raise ConfigurationError("accuracy_loss requires an epsilon = 0 baseline row")
+    baseline = by_eps[0.0]
+    return {eps: baseline - value for eps, value in sorted(by_eps.items())}

@@ -1,0 +1,69 @@
+"""Result records and JSON persistence for robustness experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.robustness.sweep import RobustnessGrid
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment (e.g. one paper figure panel) and its result grids."""
+
+    experiment_id: str
+    description: str
+    grids: List[RobustnessGrid] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add_grid(self, grid: RobustnessGrid) -> None:
+        self.grids.append(grid)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "grids": [grid.to_dict() for grid in self.grids],
+            "extra": self.extra,
+        }
+
+
+@dataclass
+class ReproductionReport:
+    """A collection of experiment records that can be serialised to JSON."""
+
+    records: Dict[str, ExperimentRecord] = field(default_factory=dict)
+
+    def add(self, record: ExperimentRecord) -> None:
+        self.records[record.experiment_id] = record
+
+    def get(self, experiment_id: str) -> Optional[ExperimentRecord]:
+        return self.records.get(experiment_id)
+
+    def to_dict(self) -> dict:
+        return {key: record.to_dict() for key, record in self.records.items()}
+
+    def save(self, path: str) -> None:
+        """Write the report as JSON (creating parent directories)."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "ReproductionReport":
+        """Load a report saved by :meth:`save`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        report = cls()
+        for experiment_id, record_dict in payload.items():
+            record = ExperimentRecord(
+                experiment_id=record_dict["experiment_id"],
+                description=record_dict["description"],
+                grids=[RobustnessGrid.from_dict(g) for g in record_dict["grids"]],
+                extra=record_dict.get("extra", {}),
+            )
+            report.add(record)
+        return report

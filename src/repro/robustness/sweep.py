@@ -1,0 +1,154 @@
+"""Multiplier x perturbation-budget robustness sweeps (the paper's heat-maps).
+
+Each of the paper's Figures 4-7 is a grid with perturbation budgets on the
+rows and multipliers (M1..M9 or the AlexNet set) on the columns, holding the
+percentage robustness of the corresponding AxDNN.  :func:`multiplier_sweep`
+produces exactly that grid for one attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.axnn.engine import AxModel, build_axdnn
+from repro.errors import ConfigurationError
+from repro.nn.model import Sequential
+from repro.robustness.evaluator import AdversarialSuite
+
+
+@dataclass
+class RobustnessGrid:
+    """A (budgets x victims) grid of percentage robustness values."""
+
+    attack_key: str
+    dataset_name: str
+    epsilons: List[float]
+    victim_labels: List[str]
+    values: np.ndarray  # shape (len(epsilons), len(victim_labels))
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = (len(self.epsilons), len(self.victim_labels))
+        if self.values.shape != expected:
+            raise ConfigurationError(
+                f"grid values have shape {self.values.shape}, expected {expected}"
+            )
+
+    # -------------------------------------------------------------- access
+    def column(self, victim_label: str) -> np.ndarray:
+        """Robustness of one victim across all budgets."""
+        index = self.victim_labels.index(victim_label)
+        return self.values[:, index]
+
+    def row(self, epsilon: float) -> np.ndarray:
+        """Robustness of every victim at one budget."""
+        index = self.epsilons.index(epsilon)
+        return self.values[index, :]
+
+    def baseline_row(self) -> np.ndarray:
+        """The eps = 0 row (clean accuracies)."""
+        return self.row(0.0) if 0.0 in self.epsilons else self.values[0, :]
+
+    def accuracy_loss(self) -> np.ndarray:
+        """Accuracy loss relative to the eps = 0 row, same shape as values."""
+        return self.baseline_row()[None, :] - self.values
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "attack": self.attack_key,
+            "dataset": self.dataset_name,
+            "epsilons": list(self.epsilons),
+            "victims": list(self.victim_labels),
+            "values": self.values.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RobustnessGrid":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            attack_key=payload["attack"],
+            dataset_name=payload["dataset"],
+            epsilons=[float(eps) for eps in payload["epsilons"]],
+            victim_labels=list(payload["victims"]),
+            values=np.asarray(payload["values"], dtype=np.float64),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+def build_victims(
+    model: Sequential,
+    multiplier_labels: Sequence[str],
+    calibration_data: np.ndarray,
+    bits: int = 8,
+    convolution_only: bool = False,
+) -> Dict[str, AxModel]:
+    """Build one AxDNN per multiplier label (M1..M9 / A1..A8 / library names)."""
+    victims: Dict[str, AxModel] = {}
+    for label in multiplier_labels:
+        victims[label] = build_axdnn(
+            model,
+            label,
+            calibration_data,
+            bits=bits,
+            convolution_only=convolution_only,
+            name=f"ax_{model.name}_{label}",
+        )
+    return victims
+
+
+def multiplier_sweep(
+    source_model: Sequential,
+    victims: Dict[str, AxModel],
+    attack: Attack,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epsilons: Sequence[float],
+    dataset_name: str = "dataset",
+) -> RobustnessGrid:
+    """Robustness grid of every victim under one attack over a budget sweep.
+
+    Adversarial examples are generated once on the source model and shared by
+    all victims, exactly as in Algorithm 1 (the adversary never sees the
+    approximate inference engine).
+    """
+    if not victims:
+        raise ConfigurationError("at least one victim AxDNN is required")
+    suite = AdversarialSuite.generate(source_model, attack, images, labels, epsilons)
+    victim_labels = list(victims)
+    values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
+    for column, label in enumerate(victim_labels):
+        results = suite.evaluate(victims[label], label)
+        for row, result in enumerate(results):
+            values[row, column] = result.robustness_percent
+    return RobustnessGrid(
+        attack_key=attack.key(),
+        dataset_name=dataset_name,
+        epsilons=suite.epsilons,
+        victim_labels=victim_labels,
+        values=values,
+        metadata={"source_model": source_model.name, "n_samples": str(labels.shape[0])},
+    )
+
+
+def attack_panel(
+    source_model: Sequential,
+    victims: Dict[str, AxModel],
+    attacks: Sequence[Attack],
+    images: np.ndarray,
+    labels: np.ndarray,
+    epsilons: Sequence[float],
+    dataset_name: str = "dataset",
+) -> List[RobustnessGrid]:
+    """One grid per attack — a full figure panel (e.g. Fig. 4a-d)."""
+    return [
+        multiplier_sweep(
+            source_model, victims, attack, images, labels, epsilons, dataset_name
+        )
+        for attack in attacks
+    ]

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (datasets, trained models, AxDNNs) are built once per
+session at deliberately small sizes so the whole suite stays fast while still
+exercising the real code paths end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.axnn import build_axdnn, build_quantized_accurate
+from repro.datasets import load_synthetic_cifar10, load_synthetic_mnist
+from repro.models import build_lenet5
+from repro.nn import Adam, Conv2D, Dense, Flatten, ReLU, Sequential, Trainer
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def mnist_small():
+    """A small synthetic-MNIST dataset (fast to generate, learnable)."""
+    return load_synthetic_mnist(n_train=700, n_test=150, seed=7)
+
+
+@pytest.fixture(scope="session")
+def cifar_small():
+    """A small synthetic-CIFAR dataset."""
+    return load_synthetic_cifar10(n_train=200, n_test=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn(mnist_small):
+    """A small trained CNN on synthetic MNIST (fast stand-in for LeNet-5)."""
+    model = Sequential(
+        [
+            Conv2D(8, kernel_size=5, stride=2, padding="valid"),
+            ReLU(),
+            Conv2D(16, kernel_size=3, stride=2, padding="valid"),
+            ReLU(),
+            Flatten(),
+            Dense(48),
+            ReLU(),
+            Dense(10),
+        ],
+        input_shape=(28, 28, 1),
+        name="tiny_cnn",
+        seed=3,
+    )
+    trainer = Trainer(model, optimizer=Adam(2e-3), seed=3)
+    trainer.fit(
+        mnist_small.train.images,
+        mnist_small.train.labels,
+        epochs=5,
+        batch_size=32,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(mnist_small):
+    """A trained LeNet-5 on the small synthetic MNIST set."""
+    model = build_lenet5(seed=5)
+    trainer = Trainer(model, optimizer=Adam(1e-3), seed=5)
+    trainer.fit(
+        mnist_small.train.images,
+        mnist_small.train.labels,
+        epochs=3,
+        batch_size=32,
+    )
+    return model
+
+
+@pytest.fixture(scope="session")
+def calibration_batch(mnist_small):
+    """Calibration images used when building quantized / approximate models."""
+    return mnist_small.train.images[:64]
+
+
+@pytest.fixture(scope="session")
+def quantized_tiny(tiny_cnn, calibration_batch):
+    """The 8-bit quantized accurate version of the tiny CNN."""
+    return build_quantized_accurate(tiny_cnn, calibration_batch)
+
+
+@pytest.fixture(scope="session")
+def approx_tiny_m8(tiny_cnn, calibration_batch):
+    """An AxDNN built from the tiny CNN with the high-error M8 multiplier."""
+    return build_axdnn(tiny_cnn, "M8", calibration_batch)

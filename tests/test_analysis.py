@@ -1,0 +1,196 @@
+"""Tests for the analysis package (paper data, tables, trend checks)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALEXNET_FIGURES,
+    ALEXNET_LABELS,
+    HEADLINE_CLAIMS,
+    LENET_FIGURES,
+    LENET_LABELS,
+    PAPER_EPSILONS,
+    TABLE2_TRANSFERABILITY,
+    alexnet_paper_grid,
+    approximation_not_universally_defensive,
+    collapse_under_attack,
+    compare_with_paper_grid,
+    format_comparison,
+    format_grid,
+    format_robustness_grid,
+    format_transfer_table,
+    high_error_multiplier_more_vulnerable,
+    l2_milder_than_linf,
+    lenet_paper_grid,
+    monotonic_decrease,
+    summarize,
+)
+from repro.errors import ShapeError
+from repro.robustness import RobustnessGrid
+from repro.robustness.transferability import TransferabilityCell
+
+
+def make_grid(values, labels=("M1", "M8"), attack="BIM_linf"):
+    values = np.asarray(values, dtype=np.float64)
+    return RobustnessGrid(
+        attack_key=attack,
+        dataset_name="synthetic-mnist",
+        epsilons=[0.0, 0.1, 0.25][: values.shape[0]],
+        victim_labels=list(labels),
+        values=values,
+    )
+
+
+class TestPaperData:
+    def test_grid_shapes(self):
+        for key, grid in LENET_FIGURES.items():
+            assert grid.shape == (10, 9), key
+        for key, grid in ALEXNET_FIGURES.items():
+            assert grid.shape == (10, 8), key
+
+    def test_epsilon_axis(self):
+        assert len(PAPER_EPSILONS) == 10
+        assert PAPER_EPSILONS[0] == 0.0
+
+    def test_values_are_percentages(self):
+        for grid in list(LENET_FIGURES.values()) + list(ALEXNET_FIGURES.values()):
+            assert grid.min() >= 0.0
+            assert grid.max() <= 100.0
+
+    def test_baseline_rows_match_reported_accuracies(self):
+        # every LeNet figure starts from the same clean accuracies (M1 = 98%)
+        for key, grid in LENET_FIGURES.items():
+            assert grid[0, 0] == HEADLINE_CLAIMS["accurate_lenet5_accuracy"], key
+        for key, grid in ALEXNET_FIGURES.items():
+            assert grid[0, 0] in (80.0, 81.0), key
+
+    def test_linf_bim_collapses_in_paper(self):
+        grid = lenet_paper_grid("BIM_linf")
+        assert np.all(grid[5:] == 0.0)
+
+    def test_rag_is_flat_in_paper(self):
+        grid = lenet_paper_grid("RAG_l2")
+        assert np.allclose(grid, grid[0], atol=1.0)
+
+    def test_cr_claim_53_percent(self):
+        # the abstract's 53% accuracy-loss claim comes from the CR attack on
+        # the M8 AxDNN at eps = 1.5 (90 -> 45 is the M9 column; M8 drops less)
+        grid = lenet_paper_grid("CR_l2")
+        losses = grid[0] - grid.min(axis=0)
+        assert losses.max() >= HEADLINE_CLAIMS["cr_attack_axdnn_loss_percent"] - 10
+        # while the accurate DNN barely loses anything
+        assert (grid[0, 0] - grid[:, 0].min()) <= 1.0
+
+    def test_lookup_helpers(self):
+        assert lenet_paper_grid("PGD_l2").shape == (10, 9)
+        assert alexnet_paper_grid("RAU_linf").shape == (10, 8)
+        with pytest.raises(KeyError):
+            lenet_paper_grid("CW_l2")
+        with pytest.raises(KeyError):
+            alexnet_paper_grid("BIM_linf")
+
+    def test_table2_has_eight_cells(self):
+        assert len(TABLE2_TRANSFERABILITY) == 8
+        for (source, victim, dataset), (before, after) in TABLE2_TRANSFERABILITY.items():
+            assert after <= before
+
+    def test_labels(self):
+        assert LENET_LABELS == [f"M{i}" for i in range(1, 10)]
+        assert ALEXNET_LABELS == [f"A{i}" for i in range(1, 9)]
+
+
+class TestTables:
+    def test_format_grid_contains_values_and_labels(self):
+        text = format_grid(
+            np.array([[1.0, 2.0], [3.0, 4.0]]), ["r1", "r2"], ["c1", "c2"], title="T"
+        )
+        assert "T" in text
+        assert "c1" in text
+        assert "4" in text
+
+    def test_format_grid_shape_validation(self):
+        with pytest.raises(ShapeError):
+            format_grid(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+    def test_format_robustness_grid(self):
+        grid = make_grid([[98, 90], [50, 40], [0, 0]])
+        text = format_robustness_grid(grid)
+        assert "BIM_linf" in text
+        assert "M8" in text
+        assert "0.25" in text
+
+    def test_format_comparison_side_by_side(self):
+        grid = make_grid([[98, 90], [50, 40], [0, 0]])
+        text = format_comparison(grid, np.array([[98, 90], [93, 84], [0, 0]]))
+        assert "measured" in text
+        assert "paper" in text
+
+    def test_format_comparison_row_mismatch(self):
+        grid = make_grid([[98, 90], [50, 40], [0, 0]])
+        with pytest.raises(ShapeError):
+            format_comparison(grid, np.zeros((4, 2)))
+
+    def test_format_transfer_table(self):
+        cells = [
+            TransferabilityCell("AccL5", "AxL5", "MNIST", 98.0, 97.0),
+            TransferabilityCell("AccL5", "AxAlx", "MNIST", 67.0, 43.0),
+        ]
+        text = format_transfer_table(cells, ["MNIST"], ["AxL5", "AxAlx"])
+        assert "98/97" in text
+        assert "AccL5" in text
+
+
+class TestTrendChecks:
+    def test_monotonic_decrease_passes_for_decreasing(self):
+        grid = make_grid([[98, 90], [70, 60], [10, 5]])
+        assert monotonic_decrease(grid, "M1").passed
+
+    def test_monotonic_decrease_fails_for_large_rebound(self):
+        grid = make_grid([[98, 90], [20, 60], [95, 5]])
+        assert not monotonic_decrease(grid, "M1").passed
+
+    def test_collapse_check(self):
+        grid = make_grid([[98, 90], [60, 55], [5, 8]])
+        assert collapse_under_attack(grid, 0.25, threshold=20).passed
+        assert not collapse_under_attack(grid, 0.1, threshold=20).passed
+
+    def test_l2_milder_than_linf(self):
+        l2 = make_grid([[98, 90], [95, 88], [90, 80]], attack="BIM_l2")
+        linf = make_grid([[98, 90], [40, 30], [0, 0]], attack="BIM_linf")
+        assert l2_milder_than_linf(l2, linf, 0.25).passed
+        assert not l2_milder_than_linf(linf, l2, 0.25).passed
+
+    def test_mae_ordering_check(self):
+        grid = make_grid([[98, 90], [80, 60], [50, 20]])
+        assert high_error_multiplier_more_vulnerable(grid, "M1", "M8", 0.25).passed
+
+    def test_not_universally_defensive(self):
+        # M8 loses 30 points more than M1 at eps 0.25
+        grid = make_grid([[98, 90], [90, 70], [80, 42]])
+        assert approximation_not_universally_defensive(grid).passed
+
+    def test_universally_defensive_grid_fails_check(self):
+        # the AxDNN always keeps more accuracy: the check must fail
+        grid = make_grid([[98, 90], [50, 88], [10, 85]])
+        assert not approximation_not_universally_defensive(grid).passed
+
+    def test_summarize(self):
+        grid = make_grid([[98, 90], [70, 60], [10, 5]])
+        checks = [monotonic_decrease(grid, "M1"), monotonic_decrease(grid, "M8")]
+        summary = summarize(checks)
+        assert summary["total"] == 2
+        assert summary["passed"] == 2
+        assert summary["failed"] == []
+
+    def test_compare_with_paper_grid_perfect_match(self):
+        paper = lenet_paper_grid("BIM_linf")[:3, :2]
+        grid = make_grid(paper)
+        result = compare_with_paper_grid(grid, paper)
+        assert result["rank_correlation"] == pytest.approx(1.0)
+        assert result["mean_abs_profile_difference"] == pytest.approx(0.0)
+
+    def test_compare_with_paper_grid_reports_drop(self):
+        grid = make_grid([[100, 100], [50, 50], [0, 0]])
+        result = compare_with_paper_grid(grid, np.array([[98, 98], [60, 60], [5, 5]]))
+        assert result["measured_final_drop_percent"] == pytest.approx(100.0)
+        assert result["paper_final_drop_percent"] < 100.0

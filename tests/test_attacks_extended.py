@@ -1,0 +1,111 @@
+"""Tests for the extension attacks (beyond the paper's Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import l2_distance, linf_distance
+from repro.attacks.extended import (
+    EXTENDED_ATTACKS,
+    AdditiveGaussianL2,
+    BlendedUniformNoiseL2,
+    DeepFoolL2,
+    SaltAndPepperNoise,
+    get_extended_attack,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def eval_data(mnist_small):
+    return mnist_small.test.images[:20], mnist_small.test.labels[:20]
+
+
+class TestRegistry:
+    def test_four_extended_attacks(self):
+        assert set(EXTENDED_ATTACKS) == {"SAP_l0", "AGN_l2", "BUN_l2", "DF_l2"}
+
+    def test_get_extended_attack(self):
+        assert isinstance(get_extended_attack("DF_l2"), DeepFoolL2)
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            get_extended_attack("CW_l2")
+
+    def test_extension_keys_disjoint_from_paper_registry(self):
+        from repro.attacks import available_attacks
+
+        assert not set(EXTENDED_ATTACKS) & set(available_attacks())
+
+
+class TestContracts:
+    @pytest.mark.parametrize("key", sorted(EXTENDED_ATTACKS))
+    def test_outputs_in_pixel_range(self, key, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = get_extended_attack(key).generate(tiny_cnn, x, y, 0.5)
+        assert adv.shape == x.shape
+        assert adv.min() >= 0.0
+        assert adv.max() <= 1.0
+
+    @pytest.mark.parametrize("key", sorted(EXTENDED_ATTACKS))
+    def test_zero_epsilon_identity(self, key, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = get_extended_attack(key).generate(tiny_cnn, x, y, 0.0)
+        assert np.array_equal(adv, x)
+
+
+class TestSaltAndPepper:
+    def test_flips_more_pixels_with_larger_budget(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        attack = SaltAndPepperNoise(seed=0)
+        small = attack.generate(tiny_cnn, x, y, 0.2)
+        attack = SaltAndPepperNoise(seed=0)
+        large = attack.generate(tiny_cnn, x, y, 2.0)
+        changed_small = np.sum(small != x)
+        changed_large = np.sum(large != x)
+        assert changed_large > changed_small
+
+    def test_flipped_pixels_are_extremes(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = SaltAndPepperNoise(seed=1).generate(tiny_cnn, x, y, 1.0)
+        changed = adv[adv != x]
+        assert np.all((changed == 0.0) | (changed == 1.0))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SaltAndPepperNoise(max_fraction=0.0)
+
+
+class TestNoiseAttacks:
+    def test_agn_budget_respected(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = AdditiveGaussianL2(seed=0).generate(tiny_cnn, x, y, 1.0)
+        assert l2_distance(x, adv).max() <= 1.0 + 1e-9
+
+    def test_bun_moves_towards_noise_target(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = BlendedUniformNoiseL2(seed=0).generate(tiny_cnn, x, y, 2.0)
+        assert l2_distance(x, adv).max() <= 2.0 + 1e-9
+        assert np.any(adv != x)
+
+
+class TestDeepFool:
+    def test_budget_respected(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = DeepFoolL2(steps=5).generate(tiny_cnn, x, y, 1.5)
+        assert l2_distance(x, adv).max() <= 1.5 + 1e-6
+
+    def test_reduces_accuracy_with_generous_budget(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        clean_acc = np.mean(tiny_cnn.predict_classes(x) == y)
+        adv = DeepFoolL2(steps=8).generate(tiny_cnn, x, y, 4.0)
+        adv_acc = np.mean(tiny_cnn.predict_classes(adv) == y)
+        assert adv_acc <= clean_acc
+
+    def test_small_budget_changes_little(self, tiny_cnn, eval_data):
+        x, y = eval_data
+        adv = DeepFoolL2(steps=3).generate(tiny_cnn, x, y, 0.05)
+        assert linf_distance(x, adv).max() <= 0.5
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            DeepFoolL2(steps=0)

@@ -1,0 +1,98 @@
+"""Tests for the one-bit adder cells."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import (
+    ADDER_CELLS,
+    ApproximateMirrorAdder1,
+    ApproximateMirrorAdder2,
+    ApproximateMirrorAdder3,
+    ApproximateMirrorAdder4,
+    ApproximateMirrorAdder5,
+    ExactFullAdder,
+    LowerOrCell,
+    get_adder_cell,
+)
+
+
+class TestExactFullAdder:
+    def test_truth_table_sums(self):
+        table = ExactFullAdder().truth_table()
+        for a, b, cin, s, cout in table:
+            assert a + b + cin == s + 2 * cout
+
+    def test_no_errors(self):
+        assert ExactFullAdder().error_count() == (0, 0)
+
+    def test_vectorised(self):
+        adder = ExactFullAdder()
+        a = np.array([0, 1, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        cin = np.array([0, 1, 1, 0])
+        s, cout = adder.add(a, b, cin)
+        assert np.array_equal(s + 2 * cout, a + b + cin)
+
+
+class TestApproximateAdders:
+    def test_ama1_errors(self):
+        sum_errors, carry_errors = ApproximateMirrorAdder1().error_count()
+        assert sum_errors == 2
+        assert carry_errors == 0
+
+    def test_ama1_carry_is_exact(self):
+        exact = ExactFullAdder().truth_table()
+        approx = ApproximateMirrorAdder1().truth_table()
+        assert np.array_equal(exact[:, 4], approx[:, 4])
+
+    def test_ama2_errors(self):
+        sum_errors, carry_errors = ApproximateMirrorAdder2().error_count()
+        assert sum_errors == 4
+        assert carry_errors == 2
+
+    def test_ama3_errors(self):
+        sum_errors, carry_errors = ApproximateMirrorAdder3().error_count()
+        assert sum_errors == 4
+        assert carry_errors == 2
+
+    def test_ama4_ignores_carry_in(self):
+        adder = ApproximateMirrorAdder4()
+        s0, c0 = adder.add(np.array([1]), np.array([0]), np.array([0]))
+        s1, c1 = adder.add(np.array([1]), np.array([0]), np.array([1]))
+        assert int(s0[0]) == int(s1[0])
+        assert int(c0[0]) == int(c1[0])
+
+    def test_ama5_single_carry_error(self):
+        sum_errors, carry_errors = ApproximateMirrorAdder5().error_count()
+        assert sum_errors == 0
+        assert carry_errors == 1
+
+    def test_lower_or_never_carries(self):
+        table = LowerOrCell().truth_table()
+        assert np.all(table[:, 4] == 0)
+
+    def test_lower_or_sum_is_or(self):
+        table = LowerOrCell().truth_table()
+        for a, b, _cin, s, _cout in table:
+            assert s == (a | b)
+
+    @pytest.mark.parametrize("name", sorted(ADDER_CELLS))
+    def test_outputs_are_bits(self, name):
+        table = ADDER_CELLS[name].truth_table()
+        assert set(np.unique(table[:, 3:])).issubset({0, 1})
+
+
+class TestRegistry:
+    def test_registry_contains_exact(self):
+        assert "exact" in ADDER_CELLS
+
+    def test_registry_has_all_ama_variants(self):
+        for variant in ("ama1", "ama2", "ama3", "ama4", "ama5"):
+            assert variant in ADDER_CELLS
+
+    def test_get_adder_cell(self):
+        assert isinstance(get_adder_cell("ama2"), ApproximateMirrorAdder2)
+
+    def test_get_adder_cell_unknown(self):
+        with pytest.raises(KeyError):
+            get_adder_cell("does-not-exist")

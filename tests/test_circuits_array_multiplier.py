@@ -1,0 +1,118 @@
+"""Tests for array / compressor-tree multiplier circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import ApproximateMirrorAdder1, ApproximateMirrorAdder2
+from repro.circuits.array_multiplier import (
+    ArrayMultiplierCircuit,
+    CompressorTreeMultiplierCircuit,
+)
+from repro.circuits.compressors import ApproximateCompressor42A, ExactCompressor42
+from repro.errors import ConfigurationError
+
+
+def _random_operands(width, count=400, seed=0):
+    rng = np.random.default_rng(seed)
+    limit = 1 << width
+    return rng.integers(0, limit, size=count), rng.integers(0, limit, size=count)
+
+
+class TestExactArrayMultiplier:
+    def test_exhaustive_4bit(self):
+        circuit = ArrayMultiplierCircuit(width=4)
+        a, b = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert np.array_equal(circuit.multiply(a, b), a * b)
+
+    def test_random_8bit(self):
+        circuit = ArrayMultiplierCircuit(width=8)
+        a, b = _random_operands(8)
+        assert np.array_equal(circuit.multiply(a, b), a * b)
+
+    def test_extremes(self):
+        circuit = ArrayMultiplierCircuit(width=8)
+        assert circuit.multiply(np.array([255]), np.array([255]))[0] == 255 * 255
+        assert circuit.multiply(np.array([0]), np.array([255]))[0] == 0
+
+
+class TestApproximateArrayMultiplier:
+    def test_requires_cell_when_columns_set(self):
+        with pytest.raises(ConfigurationError):
+            ArrayMultiplierCircuit(width=8, approx_columns=4)
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(ConfigurationError):
+            ArrayMultiplierCircuit(
+                width=8, approx_cell=ApproximateMirrorAdder1(), approx_columns=17
+            )
+
+    def test_zero_columns_is_exact(self):
+        circuit = ArrayMultiplierCircuit(
+            width=8, approx_cell=ApproximateMirrorAdder1(), approx_columns=0
+        )
+        a, b = _random_operands(8, seed=1)
+        assert np.array_equal(circuit.multiply(a, b), a * b)
+
+    def test_approximation_introduces_errors(self):
+        circuit = ArrayMultiplierCircuit(
+            width=8, approx_cell=ApproximateMirrorAdder2(), approx_columns=8
+        )
+        a, b = np.meshgrid(np.arange(256), np.arange(256), indexing="ij")
+        result = circuit.multiply(a, b)
+        assert np.any(result != a * b)
+
+    def test_errors_confined_to_low_columns_plus_carry(self):
+        columns = 6
+        circuit = ArrayMultiplierCircuit(
+            width=8, approx_cell=ApproximateMirrorAdder2(), approx_columns=columns
+        )
+        a, b = _random_operands(8, seed=2)
+        error = np.abs(circuit.multiply(a, b).astype(np.int64) - a * b)
+        # the error of a low-column approximation is bounded by a few times
+        # the weight of the highest approximate column
+        assert error.max() < (1 << (columns + 3))
+
+    def test_zero_operand_offset_is_constant_and_bounded(self):
+        # AMA2 cells emit sum = NOT(accumulator bit), so an all-zero partial
+        # product row still produces a constant offset in the approximate
+        # columns; the offset must be input independent and bounded by the
+        # weight of the approximated columns (plus the lost carry).
+        columns = 8
+        circuit = ArrayMultiplierCircuit(
+            width=8, approx_cell=ApproximateMirrorAdder2(), approx_columns=columns
+        )
+        b = np.arange(256)
+        products = circuit.multiply(np.zeros(256, dtype=int), b)
+        assert len(np.unique(products)) == 1
+        assert products.max() <= (1 << (columns + 2))
+
+
+class TestCompressorTreeMultiplier:
+    def test_exact_compressor_gives_exact_product_4bit(self):
+        circuit = CompressorTreeMultiplierCircuit(width=4, compressor=ExactCompressor42())
+        a, b = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert np.array_equal(circuit.multiply(a, b), a * b)
+
+    def test_exact_compressor_gives_exact_product_8bit_random(self):
+        circuit = CompressorTreeMultiplierCircuit(width=8)
+        a, b = _random_operands(8, count=200, seed=3)
+        assert np.array_equal(circuit.multiply(a, b), a * b)
+
+    def test_approximate_compressor_introduces_errors(self):
+        circuit = CompressorTreeMultiplierCircuit(
+            width=8, compressor=ApproximateCompressor42A(), approx_columns=12
+        )
+        a, b = _random_operands(8, count=500, seed=4)
+        result = circuit.multiply(a, b)
+        assert np.any(result != a * b)
+
+    def test_approximate_compressor_underestimates(self):
+        circuit = CompressorTreeMultiplierCircuit(
+            width=8, compressor=ApproximateCompressor42A(), approx_columns=16
+        )
+        a, b = _random_operands(8, count=500, seed=5)
+        assert np.all(circuit.multiply(a, b) <= a * b)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            CompressorTreeMultiplierCircuit(width=0)

@@ -1,0 +1,89 @@
+"""Tests for repro.circuits.bitops."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.bitops import (
+    bit_and,
+    bit_not,
+    bit_or,
+    bit_xor,
+    from_bits,
+    majority,
+    to_bits,
+)
+from repro.errors import ShapeError
+
+
+class TestToBits:
+    def test_single_value(self):
+        assert to_bits(np.array(5), 4).tolist() == [1, 0, 1, 0]
+
+    def test_zero(self):
+        assert to_bits(np.array(0), 3).tolist() == [0, 0, 0]
+
+    def test_max_value(self):
+        assert to_bits(np.array(255), 8).tolist() == [1] * 8
+
+    def test_vector_shape(self):
+        bits = to_bits(np.arange(10), 8)
+        assert bits.shape == (10, 8)
+
+    def test_matrix_shape(self):
+        bits = to_bits(np.arange(12).reshape(3, 4), 5)
+        assert bits.shape == (3, 4, 5)
+
+    def test_lsb_first_ordering(self):
+        bits = to_bits(np.array(6), 4)  # 0b0110
+        assert bits.tolist() == [0, 1, 1, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            to_bits(np.array(-1), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ShapeError):
+            to_bits(np.array(16), 4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ShapeError):
+            to_bits(np.array(1), 0)
+
+
+class TestFromBits:
+    def test_roundtrip_scalar_values(self):
+        values = np.arange(256)
+        assert np.array_equal(from_bits(to_bits(values, 8)), values)
+
+    def test_roundtrip_wide(self):
+        values = np.array([0, 1, 65535, 40000])
+        assert np.array_equal(from_bits(to_bits(values, 16)), values)
+
+    def test_single_bit(self):
+        assert from_bits(np.array([1])) == 1
+        assert from_bits(np.array([0])) == 0
+
+    def test_weights_lsb_first(self):
+        assert from_bits(np.array([0, 0, 1])) == 4
+
+
+class TestGates:
+    def test_and(self):
+        assert bit_and(np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1])).tolist() == [0, 0, 0, 1]
+
+    def test_or(self):
+        assert bit_or(np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1])).tolist() == [0, 1, 1, 1]
+
+    def test_xor(self):
+        assert bit_xor(np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1])).tolist() == [0, 1, 1, 0]
+
+    def test_not(self):
+        assert bit_not(np.array([0, 1])).tolist() == [1, 0]
+
+    def test_majority_all_combinations(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    expected = 1 if a + b + c >= 2 else 0
+                    got = majority(np.array([a]), np.array([b]), np.array([c]))
+                    assert int(got[0]) == expected

@@ -1,0 +1,76 @@
+"""Tests for 4:2 compressors."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.compressors import (
+    COMPRESSORS,
+    ApproximateCompressor42A,
+    ApproximateCompressor42B,
+    ExactCompressor42,
+)
+
+
+class TestExactCompressor:
+    def test_exhaustive_identity(self):
+        table = ExactCompressor42().truth_table()
+        inputs = table[:, :5].sum(axis=1)
+        outputs = table[:, 5] + 2 * (table[:, 6] + table[:, 7])
+        assert np.array_equal(inputs, outputs)
+
+    def test_error_rate_zero(self):
+        assert ExactCompressor42().error_rate() == 0.0
+
+    def test_vectorised(self):
+        compressor = ExactCompressor42()
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 1000))
+        s, c, co = compressor.compress(*bits)
+        assert np.array_equal(bits.sum(axis=0), s + 2 * (c + co))
+
+
+class TestApproximateCompressors:
+    @pytest.mark.parametrize("compressor_cls", [ApproximateCompressor42A, ApproximateCompressor42B])
+    def test_outputs_are_bits(self, compressor_cls):
+        table = compressor_cls().truth_table()
+        assert set(np.unique(table[:, 5:])).issubset({0, 1})
+
+    @pytest.mark.parametrize("compressor_cls", [ApproximateCompressor42A, ApproximateCompressor42B])
+    def test_has_nonzero_error_rate(self, compressor_cls):
+        assert compressor_cls().error_rate() > 0.0
+
+    @pytest.mark.parametrize("compressor_cls", [ApproximateCompressor42A, ApproximateCompressor42B])
+    def test_error_rate_below_one(self, compressor_cls):
+        # a useful approximate compressor is still right for a meaningful
+        # fraction of its truth table
+        assert compressor_cls().error_rate() < 0.85
+
+    def test_variant_a_never_overestimates(self):
+        table = ApproximateCompressor42A().truth_table()
+        expected = table[:, :5].sum(axis=1)
+        produced = table[:, 5] + 2 * (table[:, 6] + table[:, 7])
+        assert np.all(produced <= expected)
+
+    def test_variant_a_exact_for_adjacent_pair(self):
+        compressor = ApproximateCompressor42A()
+        s, c, co = compressor.compress(
+            np.array([1]), np.array([1]), np.array([0]), np.array([0]), np.array([0])
+        )
+        assert int(s[0]) + 2 * (int(c[0]) + int(co[0])) == 2
+
+    def test_variant_a_exact_for_single_input(self):
+        compressor = ApproximateCompressor42A()
+        s, c, co = compressor.compress(
+            np.array([0]), np.array([0]), np.array([1]), np.array([0]), np.array([0])
+        )
+        assert int(s[0]) + 2 * (int(c[0]) + int(co[0])) == 1
+
+    def test_variant_a_ignores_cin(self):
+        compressor = ApproximateCompressor42A()
+        args = [np.array([1]), np.array([1]), np.array([0]), np.array([0])]
+        out0 = compressor.compress(*args, np.array([0]))
+        out1 = compressor.compress(*args, np.array([1]))
+        assert [int(v[0]) for v in out0] == [int(v[0]) for v in out1]
+
+    def test_registry(self):
+        assert set(COMPRESSORS) == {"exact42", "approx42a", "approx42b"}

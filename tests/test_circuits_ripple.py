@@ -1,0 +1,91 @@
+"""Tests for ripple-carry adders."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import (
+    ApproximateMirrorAdder2,
+    ExactFullAdder,
+    LowerOrCell,
+)
+from repro.circuits.ripple import LowerPartOrAdder, RippleCarryAdder
+from repro.errors import ConfigurationError
+
+
+class TestExactRipple:
+    def test_exhaustive_4bit(self):
+        adder = RippleCarryAdder(4, ExactFullAdder())
+        a, b = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_random_8bit(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=500)
+        b = rng.integers(0, 256, size=500)
+        adder = RippleCarryAdder(8)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_carry_out_beyond_width(self):
+        adder = RippleCarryAdder(8)
+        assert adder.add(np.array([255]), np.array([255]))[0] == 510
+
+    def test_default_cell_is_exact(self):
+        adder = RippleCarryAdder(3)
+        assert all(isinstance(cell, ExactFullAdder) for cell in adder.cells)
+
+
+class TestConstruction:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            RippleCarryAdder(0)
+
+    def test_rejects_wrong_cell_count(self):
+        with pytest.raises(ConfigurationError):
+            RippleCarryAdder(4, [ExactFullAdder()] * 3)
+
+    def test_with_approximate_lower_bits_counts(self):
+        adder = RippleCarryAdder.with_approximate_lower_bits(
+            8, ApproximateMirrorAdder2(), approx_bits=3
+        )
+        approx = [cell for cell in adder.cells if isinstance(cell, ApproximateMirrorAdder2)]
+        assert len(approx) == 3
+
+    def test_with_approximate_lower_bits_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            RippleCarryAdder.with_approximate_lower_bits(
+                8, ApproximateMirrorAdder2(), approx_bits=9
+            )
+
+    def test_add_bits_shape_mismatch(self):
+        adder = RippleCarryAdder(4)
+        with pytest.raises(ConfigurationError):
+            adder.add_bits(np.zeros((2, 4)), np.zeros((2, 5)))
+
+
+class TestLowerPartOrAdder:
+    def test_zero_approx_bits_is_exact(self):
+        adder = LowerPartOrAdder(8, approx_bits=0)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, size=200)
+        b = rng.integers(0, 256, size=200)
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_upper_bits_still_exact(self):
+        adder = LowerPartOrAdder(8, approx_bits=4)
+        # operands whose low nibble is zero are added exactly
+        a = np.array([0x10, 0xA0, 0xF0])
+        b = np.array([0x20, 0x50, 0xF0])
+        assert np.array_equal(adder.add(a, b), a + b)
+
+    def test_approximation_error_is_bounded(self):
+        adder = LowerPartOrAdder(8, approx_bits=4)
+        a, b = np.meshgrid(np.arange(256), np.arange(256), indexing="ij")
+        result = adder.add(a, b)
+        error = np.abs(result - (a + b))
+        # error confined to the low nibble plus the lost carry into bit 4
+        assert error.max() <= 31
+
+    def test_lower_or_cells_used(self):
+        adder = LowerPartOrAdder(8, approx_bits=2)
+        assert isinstance(adder.cells[0], LowerOrCell)
+        assert isinstance(adder.cells[2], ExactFullAdder)

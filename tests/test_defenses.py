@@ -1,0 +1,176 @@
+"""Tests for the defence extensions (adversarial training, ensembles, squeezing)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGMLinf
+from repro.axnn import build_axdnn
+from repro.defenses import (
+    AdversarialTrainer,
+    AxEnsemble,
+    FeatureSqueezingDefense,
+    majority_vote,
+)
+from repro.errors import ConfigurationError
+from repro.nn import Adam, Dense, Flatten, ReLU, Sequential
+
+
+def _fresh_mlp(seed=0):
+    return Sequential(
+        [Flatten(), Dense(48), ReLU(), Dense(10)],
+        input_shape=(28, 28, 1),
+        name="mlp_defense",
+        seed=seed,
+    )
+
+
+class TestAdversarialTraining:
+    def test_training_reduces_loss(self, mnist_small):
+        model = _fresh_mlp()
+        trainer = AdversarialTrainer(model, epsilon=0.1, optimizer=Adam(2e-3), seed=0)
+        history = trainer.fit(
+            mnist_small.train.images[:300], mnist_small.train.labels[:300],
+            epochs=3, batch_size=32,
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+        # half of every batch is adversarial, so the bar is modest
+        assert history.train_accuracy[-1] > history.train_accuracy[0]
+
+    def test_adversarial_training_improves_robust_accuracy(self, mnist_small):
+        x_train = mnist_small.train.images[:400]
+        y_train = mnist_small.train.labels[:400]
+        x_test = mnist_small.test.images[:60]
+        y_test = mnist_small.test.labels[:60]
+        epsilon = 0.15
+
+        plain = _fresh_mlp(seed=1)
+        plain_trainer = AdversarialTrainer(
+            plain, epsilon=0.0, adversarial_ratio=0.0, optimizer=Adam(2e-3), seed=1
+        )
+        plain_trainer.fit(x_train, y_train, epochs=4, batch_size=32)
+
+        hardened = _fresh_mlp(seed=1)
+        adv_trainer = AdversarialTrainer(
+            hardened, epsilon=epsilon, adversarial_ratio=0.5, optimizer=Adam(2e-3), seed=1
+        )
+        adv_trainer.fit(x_train, y_train, epochs=4, batch_size=32)
+
+        attack = FGMLinf()
+        adv_examples_plain = attack.generate(plain, x_test, y_test, epsilon)
+        adv_examples_hard = attack.generate(hardened, x_test, y_test, epsilon)
+        plain_robust = np.mean(plain.predict_classes(adv_examples_plain) == y_test)
+        hard_robust = np.mean(hardened.predict_classes(adv_examples_hard) == y_test)
+        assert hard_robust >= plain_robust - 0.05
+
+    def test_robust_accuracy_helper(self, tiny_cnn, mnist_small):
+        trainer = AdversarialTrainer(tiny_cnn, epsilon=0.1)
+        value = trainer.robust_accuracy(
+            mnist_small.test.images[:20], mnist_small.test.labels[:20]
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_parameters(self, tiny_cnn):
+        with pytest.raises(ConfigurationError):
+            AdversarialTrainer(tiny_cnn, epsilon=-0.1)
+        with pytest.raises(ConfigurationError):
+            AdversarialTrainer(tiny_cnn, adversarial_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            AdversarialTrainer(tiny_cnn).fit(np.zeros((4, 28, 28, 1)), np.zeros(4, dtype=int), epochs=0)
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        votes = [np.array([1, 2, 3])] * 3
+        assert np.array_equal(majority_vote(votes), np.array([1, 2, 3]))
+
+    def test_majority_wins(self):
+        votes = [np.array([1, 5]), np.array([1, 7]), np.array([2, 7])]
+        assert np.array_equal(majority_vote(votes), np.array([1, 7]))
+
+    def test_tie_breaks_to_first_model(self):
+        votes = [np.array([4]), np.array([9])]
+        assert majority_vote(votes)[0] == 4
+
+    def test_requires_predictions(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote([])
+
+
+class TestAxEnsemble:
+    @pytest.fixture(scope="class")
+    def ensemble(self, tiny_cnn, calibration_batch):
+        members = [
+            build_axdnn(tiny_cnn, label, calibration_batch) for label in ("M1", "M4", "M7")
+        ]
+        return AxEnsemble(members, name="diverse")
+
+    def test_length_and_repr_name(self, ensemble):
+        assert len(ensemble) == 3
+        assert ensemble.name == "diverse"
+
+    def test_ensemble_accuracy_at_least_worst_member_minus_slack(
+        self, ensemble, mnist_small
+    ):
+        x = mnist_small.test.images[:40]
+        y = mnist_small.test.labels[:40]
+        member_accuracies = [m.accuracy(x, y) for m in ensemble.members]
+        assert ensemble.accuracy(x, y) >= min(member_accuracies) - 0.05
+
+    def test_accuracy_percent_scaling(self, ensemble, mnist_small):
+        x = mnist_small.test.images[:20]
+        y = mnist_small.test.labels[:20]
+        assert ensemble.accuracy_percent(x, y) == pytest.approx(
+            ensemble.accuracy(x, y) * 100.0
+        )
+
+    def test_agreement_in_unit_interval(self, ensemble, mnist_small):
+        agreement = ensemble.agreement(mnist_small.test.images[:20])
+        assert 0.0 <= agreement <= 1.0
+
+    def test_requires_members(self):
+        with pytest.raises(ConfigurationError):
+            AxEnsemble([])
+
+
+class TestFeatureSqueezing:
+    def test_bit_depth_reduction_levels(self):
+        defense = FeatureSqueezingDefense(bit_depth=1)
+        squeezed = defense.squeeze(np.linspace(0, 1, 11).reshape(1, 11, 1, 1))
+        assert set(np.unique(squeezed)).issubset({0.0, 1.0})
+
+    def test_high_bit_depth_close_to_identity(self):
+        defense = FeatureSqueezingDefense(bit_depth=8)
+        images = np.random.default_rng(0).random((2, 8, 8, 1))
+        assert np.abs(defense.squeeze(images) - images).max() <= 1.0 / 255.0
+
+    def test_smoothing_reduces_noise_energy(self):
+        rng = np.random.default_rng(0)
+        clean = np.zeros((1, 12, 12, 1)) + 0.5
+        noisy = np.clip(clean + rng.normal(0, 0.2, clean.shape), 0, 1)
+        defense = FeatureSqueezingDefense(bit_depth=8, smoothing_window=3)
+        smoothed = defense.squeeze(noisy)
+        assert np.abs(smoothed - 0.5).mean() < np.abs(noisy - 0.5).mean()
+
+    def test_wrap_victim_keeps_interface(self, quantized_tiny, mnist_small):
+        defense = FeatureSqueezingDefense(bit_depth=4)
+        wrapped = defense.wrap(quantized_tiny)
+        x = mnist_small.test.images[:20]
+        y = mnist_small.test.labels[:20]
+        assert wrapped.predict_classes(x).shape == (20,)
+        assert 0.0 <= wrapped.accuracy_percent(x, y) <= 100.0
+
+    def test_squeezing_mitigates_small_linf_noise(self, quantized_tiny, mnist_small):
+        # bit-depth reduction removes perturbations smaller than half a level
+        rng = np.random.default_rng(1)
+        x = mnist_small.test.images[:20]
+        perturbed = np.clip(x + rng.uniform(-0.05, 0.05, x.shape), 0, 1)
+        defense = FeatureSqueezingDefense(bit_depth=3)
+        distance_raw = np.abs(perturbed - x).mean()
+        distance_squeezed = np.abs(defense.squeeze(perturbed) - defense.squeeze(x)).mean()
+        assert distance_squeezed <= distance_raw + 1e-6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSqueezingDefense(bit_depth=0)
+        with pytest.raises(ConfigurationError):
+            FeatureSqueezingDefense(smoothing_window=5)

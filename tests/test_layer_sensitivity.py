@@ -1,0 +1,103 @@
+"""Tests for the per-layer approximation sensitivity analysis."""
+
+import pytest
+
+from repro.attacks import FGMLinf
+from repro.errors import ConfigurationError
+from repro.nn import Dense, Flatten, Sequential
+from repro.robustness import (
+    compute_layer_names,
+    layer_sensitivity_analysis,
+    most_sensitive_layer,
+)
+
+
+@pytest.fixture(scope="module")
+def sensitivity(tiny_cnn, mnist_small, calibration_batch):
+    return layer_sensitivity_analysis(
+        tiny_cnn,
+        "M8",
+        calibration_batch,
+        mnist_small.test.images[:40],
+        mnist_small.test.labels[:40],
+        attack=FGMLinf(),
+        epsilon=0.1,
+    )
+
+
+class TestComputeLayerNames:
+    def test_lists_conv_and_dense_layers(self, tiny_cnn):
+        names = compute_layer_names(tiny_cnn)
+        assert len(names) == 4  # two convolutions + two dense layers
+        assert all(isinstance(name, str) for name in names)
+
+    def test_model_without_compute_layers_rejected(self, calibration_batch, mnist_small):
+        model = Sequential([Flatten()], input_shape=(28, 28, 1))
+        with pytest.raises(ConfigurationError):
+            layer_sensitivity_analysis(
+                model,
+                "M8",
+                calibration_batch,
+                mnist_small.test.images[:5],
+                mnist_small.test.labels[:5],
+            )
+
+
+class TestSensitivityAnalysis:
+    def test_one_result_per_compute_layer(self, sensitivity, tiny_cnn):
+        assert len(sensitivity) == len(compute_layer_names(tiny_cnn))
+
+    def test_layer_kinds_recorded(self, sensitivity):
+        kinds = {result.layer_kind for result in sensitivity}
+        assert kinds == {"Conv2D", "Dense"}
+
+    def test_accuracies_are_percentages(self, sensitivity):
+        for result in sensitivity:
+            assert 0.0 <= result.clean_accuracy_percent <= 100.0
+            assert 0.0 <= result.attacked_accuracy_percent <= 100.0
+            assert result.robustness_gap_percent is not None
+
+    def test_single_layer_approximation_at_least_as_accurate_as_full(
+        self, sensitivity, approx_tiny_m8, mnist_small
+    ):
+        x = mnist_small.test.images[:40]
+        y = mnist_small.test.labels[:40]
+        fully_approximate = approx_tiny_m8.accuracy_percent(x, y)
+        best_single = max(result.clean_accuracy_percent for result in sensitivity)
+        assert best_single >= fully_approximate - 5.0
+
+    def test_without_attack_no_attacked_accuracy(
+        self, tiny_cnn, mnist_small, calibration_batch
+    ):
+        results = layer_sensitivity_analysis(
+            tiny_cnn,
+            "M4",
+            calibration_batch,
+            mnist_small.test.images[:20],
+            mnist_small.test.labels[:20],
+            layers=compute_layer_names(tiny_cnn)[:1],
+        )
+        assert len(results) == 1
+        assert results[0].attacked_accuracy_percent is None
+        assert results[0].robustness_gap_percent is None
+
+    def test_unknown_layer_rejected(self, tiny_cnn, mnist_small, calibration_batch):
+        with pytest.raises(ConfigurationError):
+            layer_sensitivity_analysis(
+                tiny_cnn,
+                "M4",
+                calibration_batch,
+                mnist_small.test.images[:10],
+                mnist_small.test.labels[:10],
+                layers=["not_a_layer"],
+            )
+
+    def test_most_sensitive_layer(self, sensitivity):
+        worst = most_sensitive_layer(sensitivity)
+        assert worst.clean_accuracy_percent == min(
+            result.clean_accuracy_percent for result in sensitivity
+        )
+
+    def test_most_sensitive_layer_requires_results(self):
+        with pytest.raises(ConfigurationError):
+            most_sensitive_layer([])

@@ -1,0 +1,118 @@
+"""Tests for the error-resilience multiplier screening (paper Section IV.A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multipliers.selection import (
+    MultiplierScreeningReport,
+    MultiplierScreeningResult,
+    rank_by_energy_at_accuracy,
+    select_resilient_multipliers,
+)
+
+
+@pytest.fixture(scope="module")
+def screening(tiny_cnn, mnist_small, calibration_batch):
+    return select_resilient_multipliers(
+        tiny_cnn,
+        ["M1", "M2", "M8"],
+        calibration_batch,
+        mnist_small.test.images[:40],
+        mnist_small.test.labels[:40],
+        accuracy_threshold_percent=60.0,
+    )
+
+
+class TestScreening:
+    def test_one_result_per_candidate(self, screening):
+        assert len(screening.results) == 3
+        assert {r.name for r in screening.results} == {
+            "mul8u_1JFF",
+            "mul8u_96D",
+            "mul8u_L40",
+        }
+
+    def test_accurate_multiplier_always_accepted(self, screening):
+        accurate = next(r for r in screening.results if r.name == "mul8u_1JFF")
+        assert accurate.accepted
+        assert accurate.mae_percent == 0.0
+
+    def test_accepted_plus_rejected_partition(self, screening):
+        assert set(screening.accepted) | set(screening.rejected) == {
+            r.name for r in screening.results
+        }
+        assert not set(screening.accepted) & set(screening.rejected)
+
+    def test_threshold_is_recorded(self, screening):
+        assert screening.threshold_percent == 60.0
+
+    def test_as_dict_roundtrip_fields(self, screening):
+        payload = screening.as_dict()
+        assert payload["threshold_percent"] == 60.0
+        assert len(payload["results"]) == 3
+        assert {"name", "mae_percent", "clean_accuracy_percent", "accepted"} == set(
+            payload["results"][0]
+        )
+
+    def test_high_threshold_rejects_high_error_multiplier(
+        self, tiny_cnn, mnist_small, calibration_batch
+    ):
+        report = select_resilient_multipliers(
+            tiny_cnn,
+            ["M1", "M8"],
+            calibration_batch,
+            mnist_small.test.images[:40],
+            mnist_small.test.labels[:40],
+            accuracy_threshold_percent=99.9,
+            always_keep=["M1"],
+        )
+        assert "mul8u_1JFF" in report.accepted
+        assert "mul8u_L40" in report.rejected
+
+    def test_requires_candidates(self, tiny_cnn, mnist_small, calibration_batch):
+        with pytest.raises(ConfigurationError):
+            select_resilient_multipliers(
+                tiny_cnn,
+                [],
+                calibration_batch,
+                mnist_small.test.images[:10],
+                mnist_small.test.labels[:10],
+            )
+
+    def test_rejects_bad_threshold(self, tiny_cnn, mnist_small, calibration_batch):
+        with pytest.raises(ConfigurationError):
+            select_resilient_multipliers(
+                tiny_cnn,
+                ["M1"],
+                calibration_batch,
+                mnist_small.test.images[:10],
+                mnist_small.test.labels[:10],
+                accuracy_threshold_percent=150.0,
+            )
+
+
+class TestEnergyRanking:
+    def test_rank_orders_by_energy(self):
+        report = MultiplierScreeningReport(
+            threshold_percent=90.0,
+            results=[
+                MultiplierScreeningResult("mul8u_1JFF", 0.0, 99.0, True),
+                MultiplierScreeningResult("mul8u_L40", 0.9, 91.0, True),
+                MultiplierScreeningResult("mul8u_17KS", 0.6, 95.0, True),
+            ],
+        )
+        ranked = rank_by_energy_at_accuracy(report)
+        # the cheapest accepted multiplier comes first; the exact one last
+        assert ranked[0] == "mul8u_L40"
+        assert ranked[-1] == "mul8u_1JFF"
+
+    def test_custom_energy_lookup(self):
+        report = MultiplierScreeningReport(
+            threshold_percent=90.0,
+            results=[
+                MultiplierScreeningResult("a", 0.0, 99.0, True),
+                MultiplierScreeningResult("b", 0.1, 98.0, True),
+            ],
+        )
+        ranked = rank_by_energy_at_accuracy(report, energy_lookup={"a": 1.0, "b": 0.1})
+        assert ranked == ["b", "a"]

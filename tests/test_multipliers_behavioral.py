@@ -1,0 +1,190 @@
+"""Tests for the behavioural approximate-multiplier families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multipliers.behavioral import (
+    BrokenCarryMultiplier,
+    DrumMultiplier,
+    ExactMultiplier,
+    LowerColumnOrMultiplier,
+    MitchellLogMultiplier,
+    NoisyLSBMultiplier,
+    OperandTruncationMultiplier,
+    PartialProductTruncationMultiplier,
+)
+
+
+def _exhaustive_pairs():
+    return np.meshgrid(np.arange(256), np.arange(256), indexing="ij")
+
+
+class TestOperandTruncation:
+    def test_zero_truncation_is_exact(self):
+        m = OperandTruncationMultiplier("t00", 0, 0)
+        assert m.is_exact()
+
+    def test_truncation_masks_low_bits(self):
+        m = OperandTruncationMultiplier("t21", 2, 1)
+        assert m.multiply(np.array([7]), np.array([5]))[0] == (7 & ~3) * (5 & ~1)
+
+    def test_never_overestimates(self):
+        m = OperandTruncationMultiplier("t22", 2, 2)
+        assert np.all(m.error_lut() <= 0)
+
+    def test_error_grows_with_truncation(self):
+        small = np.abs(OperandTruncationMultiplier("s", 1, 1).error_lut()).mean()
+        large = np.abs(OperandTruncationMultiplier("l", 3, 3).error_lut()).mean()
+        assert large > small
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            OperandTruncationMultiplier("bad", 8, 0)
+
+
+class TestPartialProductTruncation:
+    def test_zero_cut_is_exact(self):
+        assert PartialProductTruncationMultiplier("p0", 0).is_exact()
+
+    def test_full_cut_is_zero(self):
+        m = PartialProductTruncationMultiplier("pall", 16)
+        assert not np.any(m.lut())
+
+    def test_never_overestimates(self):
+        m = PartialProductTruncationMultiplier("p4", 4)
+        assert np.all(m.error_lut() <= 0)
+
+    def test_error_bounded_by_cut_columns(self):
+        cut = 5
+        m = PartialProductTruncationMultiplier("p5", cut)
+        # the dropped value is at most the sum of all bits in the cut columns
+        a, b = _exhaustive_pairs()
+        max_dropped = sum((min(j + 1, 8)) * (1 << j) for j in range(cut))
+        assert np.abs(m.error_lut()).max() <= max_dropped
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            PartialProductTruncationMultiplier("bad", 17)
+
+
+class TestLowerColumnOr:
+    def test_zero_cut_is_exact(self):
+        assert LowerColumnOrMultiplier("o0", 0).is_exact()
+
+    def test_never_overestimates(self):
+        # OR of column bits is <= their sum
+        m = LowerColumnOrMultiplier("o8", 8)
+        assert np.all(m.error_lut() <= 0)
+
+    def test_exact_when_columns_sparse(self):
+        m = LowerColumnOrMultiplier("o8b", 8)
+        # powers of two have a single partial product per column
+        assert m.multiply(np.array([16]), np.array([8]))[0] == 128
+
+
+class TestBrokenCarry:
+    def test_low_segment_has_small_errors(self):
+        # with a low cut the dropped carries are frequent but light-weight
+        m = BrokenCarryMultiplier("bc9", 9)
+        assert np.abs(m.error_lut()).mean() < 0.02 * m.product_max
+
+    def test_errors_are_multiples_of_segment_weight(self):
+        segment = 8
+        m = BrokenCarryMultiplier("bc8", segment)
+        errors = np.unique(m.error_lut())
+        assert np.all(errors % (1 << segment) == 0)
+
+    def test_never_overestimates(self):
+        m = BrokenCarryMultiplier("bc9", 9)
+        assert np.all(m.error_lut() <= 0)
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(ConfigurationError):
+            BrokenCarryMultiplier("bad", 0)
+
+
+class TestMitchellLog:
+    def test_zero_operands_exact(self):
+        m = MitchellLogMultiplier()
+        assert m.multiply(np.array([0]), np.array([123]))[0] == 0
+
+    def test_powers_of_two_exact(self):
+        m = MitchellLogMultiplier()
+        a = np.array([1, 2, 4, 8, 16, 32, 64, 128])
+        b = np.array([2, 4, 8, 16, 2, 4, 2, 2])
+        assert np.array_equal(m.multiply(a, b), a * b)
+
+    def test_never_overestimates(self):
+        m = MitchellLogMultiplier()
+        assert np.all(m.error_lut() <= 0)
+
+    def test_relative_error_bounded(self):
+        # Mitchell's worst-case relative error is about 11.1%
+        m = MitchellLogMultiplier()
+        exact = m.exact_lut().astype(np.float64)
+        error = np.abs(m.error_lut().astype(np.float64))
+        mask = exact > 0
+        assert (error[mask] / exact[mask]).max() < 0.13
+
+
+class TestDrum:
+    def test_large_k_is_exact(self):
+        assert DrumMultiplier("d8", k=8).is_exact()
+
+    def test_small_operands_exact(self):
+        m = DrumMultiplier("d4", k=4)
+        a, b = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert np.array_equal(m.multiply(a, b), a * b)
+
+    def test_roughly_unbiased(self):
+        m = DrumMultiplier("d4b", k=4)
+        bias = m.error_lut().astype(np.float64).mean() / m.product_max
+        assert abs(bias) < 0.01
+
+    def test_relative_error_bounded(self):
+        # per-operand error of DRUM-4 is ~12.5%, so the product error stays
+        # below ~28%
+        m = DrumMultiplier("d4c", k=4)
+        exact = m.exact_lut().astype(np.float64)
+        error = np.abs(m.error_lut().astype(np.float64))
+        mask = exact > 0
+        assert (error[mask] / exact[mask]).max() < 0.28
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            DrumMultiplier("bad", k=1)
+
+
+class TestNoisyLSB:
+    def test_deterministic(self):
+        a = NoisyLSBMultiplier("n1", max_error=64)
+        b = NoisyLSBMultiplier("n2", max_error=64)
+        assert np.array_equal(a.lut(), b.lut())
+
+    def test_zero_operands_exact(self):
+        m = NoisyLSBMultiplier("n3", max_error=64)
+        assert m.multiply(np.array([0]), np.array([200]))[0] == 0
+        assert m.multiply(np.array([200]), np.array([0]))[0] == 0
+
+    def test_error_bounded(self):
+        m = NoisyLSBMultiplier("n4", max_error=64)
+        assert np.abs(m.error_lut()).max() <= 64
+
+    def test_nonnegative_products(self):
+        m = NoisyLSBMultiplier("n5", max_error=200)
+        assert m.lut().min() >= 0
+
+    def test_seed_changes_pattern(self):
+        a = NoisyLSBMultiplier("n6", max_error=64, seed=1)
+        b = NoisyLSBMultiplier("n7", max_error=64, seed=2)
+        assert not np.array_equal(a.lut(), b.lut())
+
+    def test_rejects_bad_max_error(self):
+        with pytest.raises(ConfigurationError):
+            NoisyLSBMultiplier("bad", max_error=0)
+
+
+class TestExactReference:
+    def test_exact_multiplier_name_default(self):
+        assert ExactMultiplier().name == "exact"

@@ -1,0 +1,116 @@
+"""Tests for the EvoApprox-style multiplier registry and named instances."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownComponentError
+from repro.multipliers import evoapprox
+from repro.multipliers.library import (
+    ACCURATE_MULTIPLIER,
+    ALEXNET_MULTIPLIERS,
+    LENET_MULTIPLIERS,
+    alexnet_set,
+    clear_cache,
+    error_reports,
+    get_multiplier,
+    lenet_set,
+    list_multipliers,
+    paper_label,
+    resolve_name,
+)
+from repro.multipliers.metrics import mean_absolute_error
+
+
+class TestRegistry:
+    def test_lenet_group_has_nine_entries(self):
+        assert len(LENET_MULTIPLIERS) == 9
+
+    def test_alexnet_group_has_eight_entries(self):
+        assert len(ALEXNET_MULTIPLIERS) == 8
+
+    def test_m1_is_the_accurate_multiplier(self):
+        assert LENET_MULTIPLIERS["M1"] == ACCURATE_MULTIPLIER
+        assert ALEXNET_MULTIPLIERS["A1"] == ACCURATE_MULTIPLIER
+
+    def test_every_label_resolves(self):
+        for label in list(LENET_MULTIPLIERS) + list(ALEXNET_MULTIPLIERS):
+            assert resolve_name(label) in list_multipliers()
+
+    def test_resolve_accepts_library_names(self):
+        assert resolve_name("mul8u_17KS") == "mul8u_17KS"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(UnknownComponentError):
+            resolve_name("mul8u_NOPE")
+
+    def test_get_multiplier_caches_instances(self):
+        clear_cache()
+        first = get_multiplier("M4")
+        second = get_multiplier("mul8u_17KS")
+        assert first is second
+
+    def test_paper_label_roundtrip(self):
+        assert paper_label("mul8u_17KS", group="lenet") == "M4"
+        assert paper_label("mul8u_2P7", group="alexnet") == "A2"
+        assert paper_label("mul8s_L1G", group="lenet") is None
+
+    def test_available_names_sorted_and_unique(self):
+        names = evoapprox.available_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            evoapprox.build("mul8u_UNKNOWN")
+
+    def test_build_returns_fresh_instances(self):
+        assert evoapprox.build("mul8u_96D") is not evoapprox.build("mul8u_96D")
+
+
+class TestNamedInstanceProperties:
+    def test_accurate_multiplier_is_exact(self):
+        assert get_multiplier("mul8u_1JFF").is_exact()
+
+    def test_all_approximate_instances_have_errors(self):
+        for label, name in LENET_MULTIPLIERS.items():
+            if label == "M1":
+                continue
+            assert not get_multiplier(name).is_exact(), name
+
+    def test_lenet_set_order(self):
+        multipliers = lenet_set()
+        assert [m.name for m in multipliers] == [
+            LENET_MULTIPLIERS[f"M{i}"] for i in range(1, 10)
+        ]
+
+    def test_alexnet_set_order(self):
+        multipliers = alexnet_set()
+        assert [m.name for m in multipliers] == [
+            ALEXNET_MULTIPLIERS[f"A{i}"] for i in range(1, 9)
+        ]
+
+    def test_low_error_group_below_high_error_group(self):
+        # the paper's ordering: M2/M3 are near-exact, M6/M8 are the worst
+        low = max(
+            mean_absolute_error(get_multiplier(label)) for label in ("M2", "M3")
+        )
+        high = min(
+            mean_absolute_error(get_multiplier(label)) for label in ("M6", "M8")
+        )
+        assert low < high
+
+    def test_alexnet_set_is_mild(self):
+        # every AlexNet multiplier keeps MAE under 2% (paper: accuracies
+        # within ~2 points of the accurate model at eps = 0)
+        for label in ALEXNET_MULTIPLIERS:
+            assert mean_absolute_error(get_multiplier(label)) < 2.0
+
+    def test_all_luts_fit_product_range(self):
+        for name in list_multipliers():
+            lut = get_multiplier(name).lut()
+            assert lut.min() >= 0
+            assert lut.max() <= 255 * 255 + (1 << 17)
+
+    def test_error_reports_cover_library(self):
+        reports = error_reports()
+        assert {report.name for report in reports} == set(list_multipliers())

@@ -1,0 +1,94 @@
+"""Tests for multiplier error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.multipliers.base import LUTMultiplier
+from repro.multipliers.behavioral import (
+    ExactMultiplier,
+    OperandTruncationMultiplier,
+    PartialProductTruncationMultiplier,
+)
+from repro.multipliers.metrics import (
+    error_probability,
+    error_report,
+    mean_absolute_error,
+    mean_error,
+    mean_relative_error,
+    worst_case_error,
+)
+
+
+class TestExactMetrics:
+    def test_all_zero_for_exact(self):
+        m = ExactMultiplier()
+        assert mean_absolute_error(m) == 0.0
+        assert worst_case_error(m) == 0.0
+        assert mean_relative_error(m) == 0.0
+        assert error_probability(m) == 0.0
+        assert mean_error(m) == 0.0
+
+
+class TestKnownValues:
+    def test_constant_offset_lut(self):
+        # a LUT that over-estimates every product by exactly 10
+        exact = ExactMultiplier("e4", bit_width=4)
+        table = exact.lut() + 10
+        m = LUTMultiplier("offset", table)
+        expected = 10.0 / m.product_max * 100.0
+        assert mean_absolute_error(m) == pytest.approx(expected)
+        assert worst_case_error(m) == pytest.approx(expected)
+        assert mean_error(m) == pytest.approx(expected)
+        assert error_probability(m) == 1.0
+
+    def test_single_wrong_entry(self):
+        exact = ExactMultiplier("e4", bit_width=4)
+        table = exact.lut().copy()
+        table[3, 3] += 5
+        m = LUTMultiplier("one-off", table)
+        assert error_probability(m) == pytest.approx(1.0 / 256.0)
+        assert worst_case_error(m) == pytest.approx(5.0 / m.product_max * 100.0)
+
+
+class TestOrderingProperties:
+    def test_mae_monotone_in_truncation(self):
+        maes = [
+            mean_absolute_error(OperandTruncationMultiplier(f"t{k}", k, k))
+            for k in (1, 2, 3, 4)
+        ]
+        assert all(maes[i] < maes[i + 1] for i in range(len(maes) - 1))
+
+    def test_wce_at_least_mae(self):
+        m = PartialProductTruncationMultiplier("p6", 6)
+        assert worst_case_error(m) >= mean_absolute_error(m)
+
+    def test_negative_bias_for_truncation(self):
+        m = OperandTruncationMultiplier("t33", 3, 3)
+        assert mean_error(m) < 0
+
+    def test_bias_magnitude_bounded_by_mae(self):
+        m = PartialProductTruncationMultiplier("p5", 5)
+        assert abs(mean_error(m)) <= mean_absolute_error(m) + 1e-12
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = error_report(OperandTruncationMultiplier("t21", 2, 1))
+        assert report.name == "t21"
+        assert report.bit_width == 8
+        assert report.mae_percent > 0
+        assert 0 <= report.error_probability <= 1
+
+    def test_report_as_dict(self):
+        report = error_report(ExactMultiplier())
+        payload = report.as_dict()
+        assert payload["mae_percent"] == 0.0
+        assert set(payload) == {
+            "name",
+            "bit_width",
+            "mae_percent",
+            "wce_percent",
+            "mre_percent",
+            "error_probability",
+            "mean_error_percent",
+        }

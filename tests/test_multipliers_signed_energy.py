@@ -1,0 +1,75 @@
+"""Tests for the signed-multiplication wrapper and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multipliers.behavioral import ExactMultiplier, OperandTruncationMultiplier
+from repro.multipliers.energy import (
+    DEFAULT_COST,
+    HARDWARE_COSTS,
+    energy_per_mac_pj,
+    energy_saving_percent,
+    hardware_cost,
+    model_multiply_energy_pj,
+)
+from repro.multipliers.signed import SignedMultiplierView, signed_multiply
+
+
+class TestSignedMultiply:
+    def test_sign_combinations(self):
+        m = ExactMultiplier()
+        a = np.array([3, -3, 3, -3, 0])
+        b = np.array([4, 4, -4, -4, -7])
+        assert np.array_equal(signed_multiply(m, a, b), a * b)
+
+    def test_matches_exact_for_random_signed(self):
+        m = ExactMultiplier()
+        rng = np.random.default_rng(0)
+        a = rng.integers(-255, 256, size=500)
+        b = rng.integers(-255, 256, size=500)
+        assert np.array_equal(signed_multiply(m, a, b), a * b)
+
+    def test_approximate_magnitude_used(self):
+        m = OperandTruncationMultiplier("t2", 2, 0)
+        assert signed_multiply(m, np.array([-7]), np.array([5]))[0] == -(7 & ~3) * 5
+
+    def test_rejects_out_of_range_magnitudes(self):
+        with pytest.raises(ConfigurationError):
+            signed_multiply(ExactMultiplier(), np.array([-256]), np.array([1]))
+
+    def test_view_callable(self):
+        view = SignedMultiplierView(ExactMultiplier())
+        assert view(np.array([-2]), np.array([8]))[0] == -16
+        assert view.name.endswith("_signed")
+
+
+class TestEnergyModel:
+    def test_known_cost_lookup(self):
+        cost = hardware_cost("mul8u_1JFF")
+        assert cost.power_mw > 0
+        assert cost.area_um2 > 0
+
+    def test_unknown_cost_falls_back(self):
+        assert hardware_cost("not-a-multiplier") is DEFAULT_COST
+
+    def test_energy_is_power_times_delay(self):
+        cost = hardware_cost("mul8u_17KS")
+        assert cost.energy_pj() == pytest.approx(cost.power_mw * cost.delay_ns)
+
+    def test_approximate_cheaper_than_accurate(self):
+        for name in HARDWARE_COSTS:
+            if name == "mul8u_1JFF":
+                continue
+            assert energy_per_mac_pj(name) <= energy_per_mac_pj("mul8u_1JFF")
+
+    def test_saving_percent_positive_for_approximate(self):
+        assert energy_saving_percent("mul8u_L40") > 0
+
+    def test_saving_percent_zero_for_baseline(self):
+        assert energy_saving_percent("mul8u_1JFF") == pytest.approx(0.0)
+
+    def test_model_energy_scales_with_ops(self):
+        single = model_multiply_energy_pj("mul8u_17KS", [1000])
+        double = model_multiply_energy_pj("mul8u_17KS", [1000, 1000])
+        assert double == pytest.approx(2 * single)

@@ -1,0 +1,141 @@
+"""Tests for repro.nn.functional (im2col / col2im / softmax helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_valid_convolution(self):
+        assert conv_output_size(28, 5, 1, 0) == 24
+
+    def test_same_convolution(self):
+        assert conv_output_size(28, 3, 1, 1) == 28
+
+    def test_strided(self):
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_rejects_too_small_input(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(3, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 6 * 6 * 3, dtype=np.float64).reshape(2, 6, 6, 3)
+        cols = im2col(x, 3, 3, 1, 0)
+        assert cols.shape == (2, 4, 4, 27)
+
+    def test_identity_kernel_1x1(self):
+        x = np.random.default_rng(0).random((2, 5, 5, 4))
+        cols = im2col(x, 1, 1, 1, 0)
+        assert np.allclose(cols, x)
+
+    def test_patch_content_matches_manual_slice(self):
+        x = np.arange(1 * 4 * 4 * 1, dtype=np.float64).reshape(1, 4, 4, 1)
+        cols = im2col(x, 2, 2, 1, 0)
+        # patch at output position (1, 2) covers rows 1-2, cols 2-3
+        expected = x[0, 1:3, 2:4, 0].reshape(-1)
+        assert np.allclose(cols[0, 1, 2], expected)
+
+    def test_padding_adds_zeros(self):
+        x = np.ones((1, 2, 2, 1))
+        cols = im2col(x, 3, 3, 1, 1)
+        # the centre patch sees the whole image; corner entries are zero-padded
+        assert cols.shape == (1, 2, 2, 9)
+        assert cols[0, 0, 0, 0] == 0.0  # top-left of top-left patch is padding
+
+    def test_stride(self):
+        x = np.random.default_rng(1).random((1, 6, 6, 2))
+        cols = im2col(x, 2, 2, 2, 0)
+        assert cols.shape == (1, 3, 3, 8)
+
+    def test_conv_via_im2col_matches_direct(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 5, 5, 3))
+        w = rng.random((3, 3, 3, 4))
+        cols = im2col(x, 3, 3, 1, 0)
+        result = cols.reshape(-1, 27) @ w.reshape(27, 4)
+        result = result.reshape(2, 3, 3, 4)
+        # direct (slow) convolution
+        expected = np.zeros_like(result)
+        for n in range(2):
+            for i in range(3):
+                for j in range(3):
+                    patch = x[n, i : i + 3, j : j + 3, :]
+                    for f in range(4):
+                        expected[n, i, j, f] = np.sum(patch * w[:, :, :, f])
+        assert np.allclose(result, expected)
+
+    def test_rejects_non_nhwc(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 3)), 2, 2, 1, 0)
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random tensors (adjoint test)
+        rng = np.random.default_rng(3)
+        x = rng.random((2, 6, 6, 3))
+        cols_shape = im2col(x, 3, 3, 1, 1).shape
+        y = rng.random(cols_shape)
+        lhs = np.sum(im2col(x, 3, 3, 1, 1) * y)
+        rhs = np.sum(x * col2im(y, x.shape, 3, 3, 1, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_counts_overlaps(self):
+        x_shape = (1, 3, 3, 1)
+        cols = np.ones((1, 2, 2, 4))
+        image = col2im(cols, x_shape, 2, 2, 1, 0)
+        # centre pixel is covered by all four 2x2 patches
+        assert image[0, 1, 1, 0] == 4.0
+        assert image[0, 0, 0, 0] == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            col2im(np.zeros((1, 2, 2, 5)), (1, 3, 3, 1), 2, 2, 1, 0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(4).normal(size=(10, 7))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_handles_large_values(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(5).normal(size=(4, 6))
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(
+            encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=np.float64)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_matrix_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
