@@ -2,7 +2,9 @@
 
 Converts trained float models into 8-bit quantized models whose every
 activation x weight product is evaluated through an approximate-multiplier
-look-up table.
+look-up table.  The LUT matmul itself runs through a pluggable kernel engine
+(:mod:`repro.axnn.kernels`) with bit-identical gather / per-code BLAS /
+error-correction strategies.
 """
 
 from repro.axnn.approx_ops import (
@@ -10,8 +12,21 @@ from repro.axnn.approx_ops import (
     approx_matmul,
     exact_matmul,
     quantize_weights_sign_magnitude,
+    zero_point_correction_vector,
 )
 from repro.axnn.engine import AxModel, build_axdnn, build_quantized_accurate
+from repro.axnn.kernels import (
+    KERNEL_STRATEGIES,
+    ErrorCorrectionKernel,
+    ExactBLASKernel,
+    GatherKernel,
+    MatmulKernel,
+    PerCodeBLASKernel,
+    integer_low_rank_factors,
+    make_kernel,
+    multiplier_kernel_profile,
+    select_strategy,
+)
 from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
 
 __all__ = [
@@ -19,6 +34,17 @@ __all__ = [
     "exact_matmul",
     "approx_dot_general",
     "quantize_weights_sign_magnitude",
+    "zero_point_correction_vector",
+    "KERNEL_STRATEGIES",
+    "MatmulKernel",
+    "GatherKernel",
+    "ExactBLASKernel",
+    "PerCodeBLASKernel",
+    "ErrorCorrectionKernel",
+    "integer_low_rank_factors",
+    "make_kernel",
+    "multiplier_kernel_profile",
+    "select_strategy",
     "AxLayer",
     "AxConv2D",
     "AxDense",

@@ -12,6 +12,11 @@ The decomposition used (sign-magnitude weights, affine activations) is
 where only the first summation depends on the approximate multiplier — the
 zero-point correction term is a constant per output neuron and is folded in
 exactly, as a hardware accelerator would fold it into the bias.
+
+:func:`approx_matmul` is the *reference* gather kernel; the pluggable
+BLAS-backed strategies in :mod:`repro.axnn.kernels` (per-code / low-rank /
+error-correction decompositions) are bit-identical replacements selected per
+Ax-layer, see PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -81,7 +86,6 @@ def approx_matmul(
 
     rows, inner = activation_codes.shape
     outputs = weight_sign.shape[1]
-    signed_weights = weight_sign * weight_magnitude  # used only via the LUT gather
     result = np.empty((rows, outputs), dtype=np.int64)
     chunk_rows = max(1, chunk_elements // max(1, inner * outputs))
     for start in range(0, rows, chunk_rows):
@@ -90,7 +94,6 @@ def approx_matmul(
         products = lut[block[:, :, None], weight_magnitude[None, :, :]].astype(np.int64)
         products *= weight_sign[None, :, :]
         result[start:stop] = products.sum(axis=1)
-    del signed_weights
     return result
 
 
@@ -110,6 +113,20 @@ def exact_matmul(
     ).astype(np.int64)
 
 
+def zero_point_correction_vector(
+    weight_sign: np.ndarray, weight_magnitude: np.ndarray
+) -> np.ndarray:
+    """Per-output-neuron zero-point correction ``sum_k sign_k * mag_k``.
+
+    A constant of the (quantized) weights; Ax-layers precompute it once at
+    construction instead of once per forward call.
+    """
+    return (
+        np.asarray(weight_sign, dtype=np.int64)
+        * np.asarray(weight_magnitude, dtype=np.int64)
+    ).sum(axis=0)
+
+
 def approx_dot_general(
     activation_codes: np.ndarray,
     weight_sign: np.ndarray,
@@ -117,21 +134,45 @@ def approx_dot_general(
     multiplier: Multiplier,
     zero_point: int,
     use_exact_fastpath: Optional[bool] = None,
+    kernel=None,
+    zero_point_correction: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Full quantized dot product including the zero-point correction term.
 
     Returns the integer accumulator ``sum_k (qa_k - za) * qw_k`` where the
     ``qa * |qw|`` partial products go through the approximate multiplier.
+
+    ``kernel`` selects the matmul strategy: ``None`` keeps the historical
+    behaviour (exact BLAS fast path for bit-exact multipliers, LUT gather
+    otherwise); a strategy name (``"auto"``, ``"gather"``, ``"percode"``,
+    ``"errorcorrection"``, ``"exact"``) or a prebuilt
+    :class:`repro.axnn.kernels.MatmulKernel` routes the product through the
+    pluggable kernel engine.  Passing a strategy *name* rebuilds the bound
+    kernel — including its per-weight factor tables — on every call, which
+    can dominate the matmul itself at large shapes; repeated callers should
+    build the kernel once with :func:`repro.axnn.kernels.make_kernel` and
+    pass the instance (the Ax-layers do exactly that at construction).
+    ``zero_point_correction`` optionally supplies the precomputed
+    :func:`zero_point_correction_vector`.
     """
-    if use_exact_fastpath is None:
-        use_exact_fastpath = multiplier.is_exact()
-    if use_exact_fastpath:
-        accumulator = exact_matmul(activation_codes, weight_sign, weight_magnitude)
+    if kernel is not None:
+        from repro.axnn.kernels import make_kernel
+
+        bound = make_kernel(multiplier, weight_sign, weight_magnitude, kernel)
+        accumulator = bound.matmul(activation_codes)
     else:
-        accumulator = approx_matmul(
-            activation_codes, weight_sign, weight_magnitude, multiplier.lut()
-        )
+        if use_exact_fastpath is None:
+            use_exact_fastpath = multiplier.is_exact()
+        if use_exact_fastpath:
+            accumulator = exact_matmul(activation_codes, weight_sign, weight_magnitude)
+        else:
+            accumulator = approx_matmul(
+                activation_codes, weight_sign, weight_magnitude, multiplier.lut()
+            )
     if zero_point:
-        correction = (weight_sign * weight_magnitude).sum(axis=0)  # (N,)
-        accumulator = accumulator - zero_point * correction[None, :]
+        if zero_point_correction is None:
+            zero_point_correction = zero_point_correction_vector(
+                weight_sign, weight_magnitude
+            )
+        accumulator = accumulator - zero_point * zero_point_correction[None, :]
     return accumulator

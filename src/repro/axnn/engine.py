@@ -25,10 +25,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.axnn.kernels import normalize_strategy
 from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
 from repro.errors import ConfigurationError
 from repro.multipliers.base import Multiplier
 from repro.multipliers.library import get_multiplier
+from repro.nn.layers.base import no_grad_cache
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.dense import Dense
 from repro.nn.metrics import accuracy
@@ -49,12 +51,15 @@ class AxModel:
         multiplier: Multiplier,
         bits: int,
         source: Sequential,
+        kernel: str = "auto",
     ) -> None:
         self.layers: List[AxLayer] = list(layers)
         self.name = name
         self.multiplier = multiplier
         self.bits = bits
         self.source = source
+        #: requested kernel strategy (per-layer resolution in kernel_report)
+        self.kernel = kernel
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         out = np.asarray(x, dtype=np.float64)
@@ -63,11 +68,16 @@ class AxModel:
         return out
 
     def predict(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
-        """Batched inference returning logits."""
+        """Batched inference returning logits.
+
+        AxDNN inference is gradient-free, so the wrapped float layers run
+        under ``no_grad_cache`` and keep no backward buffers.
+        """
         x = np.asarray(x, dtype=np.float64)
         outputs = []
-        for start in range(0, x.shape[0], batch_size):
-            outputs.append(self.forward(x[start : start + batch_size]))
+        with no_grad_cache():
+            for start in range(0, x.shape[0], batch_size):
+                outputs.append(self.forward(x[start : start + batch_size]))
         return np.concatenate(outputs, axis=0)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 64) -> np.ndarray:
@@ -87,6 +97,10 @@ class AxModel:
         return [
             layer for layer in self.layers if isinstance(layer, (AxConv2D, AxDense))
         ]
+
+    def kernel_report(self) -> Dict[str, str]:
+        """Resolved kernel strategy per compute layer (for logs and tests)."""
+        return {layer.name: layer.kernel.describe() for layer in self.compute_layers()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -118,6 +132,7 @@ def build_axdnn(
     convolution_only: bool = False,
     per_layer_multipliers: Optional[Dict[str, MultiplierSpec]] = None,
     name: Optional[str] = None,
+    kernel: str = "auto",
 ) -> AxModel:
     """Convert a trained float model into a quantized approximate model.
 
@@ -141,11 +156,18 @@ def build_axdnn(
     per_layer_multipliers:
         Optional explicit mapping from float-layer name to multiplier,
         overriding ``multiplier`` for those layers.
+    kernel:
+        Matmul kernel strategy for every compute layer: ``"auto"``
+        (structure-based selection, the default), ``"gather"``,
+        ``"percode"``, ``"errorcorrection"`` or ``"exact"`` — see
+        :mod:`repro.axnn.kernels`.  All strategies are bit-identical; they
+        differ only in throughput and memory.
     """
     if not model.layers:
         raise ConfigurationError("cannot build an AxDNN from an empty model")
     if calibration_data is None or np.asarray(calibration_data).size == 0:
         raise ConfigurationError("calibration_data must contain at least one sample")
+    kernel = normalize_strategy(kernel)
 
     default_multiplier = (
         multiplier if isinstance(multiplier, Multiplier) else get_multiplier(multiplier)
@@ -163,17 +185,27 @@ def build_axdnn(
     for layer in model.layers:
         if isinstance(layer, Conv2D):
             chosen = overrides.get(layer.name, default_multiplier)
-            ax_layers.append(AxConv2D(layer, chosen, schemes[layer.name], weight_bits=bits))
+            ax_layers.append(
+                AxConv2D(
+                    layer, chosen, schemes[layer.name], weight_bits=bits, kernel=kernel
+                )
+            )
         elif isinstance(layer, Dense):
             chosen = overrides.get(
                 layer.name, accurate if convolution_only else default_multiplier
             )
-            ax_layers.append(AxDense(layer, chosen, schemes[layer.name], weight_bits=bits))
+            ax_layers.append(
+                AxDense(
+                    layer, chosen, schemes[layer.name], weight_bits=bits, kernel=kernel
+                )
+            )
         else:
             ax_layers.append(PassthroughLayer(layer))
 
     model_name = name or f"ax_{model.name}_{default_multiplier.name}"
-    return AxModel(ax_layers, model_name, default_multiplier, bits, source=model)
+    return AxModel(
+        ax_layers, model_name, default_multiplier, bits, source=model, kernel=kernel
+    )
 
 
 def build_quantized_accurate(
@@ -181,6 +213,7 @@ def build_quantized_accurate(
     calibration_data: np.ndarray,
     bits: int = 8,
     name: Optional[str] = None,
+    kernel: str = "auto",
 ) -> AxModel:
     """The paper's quantized accurate DNN: 8-bit fixed point, exact multiplier."""
     return build_axdnn(
@@ -189,4 +222,5 @@ def build_quantized_accurate(
         calibration_data,
         bits=bits,
         name=name or f"quantized_{model.name}",
+        kernel=kernel,
     )

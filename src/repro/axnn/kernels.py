@@ -1,0 +1,549 @@
+"""Pluggable BLAS-backed kernels for the approximate LUT matmul.
+
+The hot loop of the whole reproduction is the integer product
+
+    result[m, n] = sum_k sign[k, n] * LUT[A[m, k], mag[k, n]]
+
+where ``A`` holds unsigned activation codes and ``(sign, mag)`` is the
+sign-magnitude weight decomposition.  The reference implementation
+(:func:`repro.axnn.approx_ops.approx_matmul`) evaluates it by materialising
+an ``(m, K, N)`` gather tensor — correct, but every downstream sweep
+(accuracy grids, PGD/decision attacks, transferability matrices) pays for
+that fancy-indexing loop.  This module provides interchangeable,
+*bit-identical* kernel strategies that route the same accumulation through
+float64 BLAS instead:
+
+``gather``
+    The legacy chunked LUT-gather loop, kept as the reference semantics.
+
+``percode``
+    The per-code BLAS decomposition ``result = sum_c onehot(A == c) @ T_c``
+    with ``T_c[k, n] = sign[k, n] * LUT[c, mag[k, n]]``: at most ``2**bits``
+    float64 matmuls over only the codes actually present in the batch.
+    When the LUT admits an exact integer rank factorisation
+    ``LUT = sum_i outer(f_i, g_i)`` (true for the exact, operand-truncation,
+    partial-product-truncation, DRUM and mirror-adder array multipliers),
+    the one-hot sum collapses through the LUT's row space into ``r`` fused
+    BLAS products ``sum_i f_i[A] @ (sign * g_i[mag])`` — a single ``dgemm``
+    for the rank-1 truncation/DRUM families.
+
+``errorcorrection``
+    ``exact_matmul(A, W)`` via one BLAS product plus a correction drawn from
+    the multiplier's ``error_lut()`` restricted to its nonzero structure
+    (low-rank factors of the error table when they exist, otherwise only the
+    error-active codes present in the batch).  Near-free for mild
+    multipliers whose error tables are mostly zero or low-rank.
+
+``exact``
+    A plain rounded float64 BLAS product; only valid for bit-exact
+    multipliers (the quantized accurate DNN).
+
+All BLAS paths operate on integer-valued float64 operands whose partial sums
+are provably below 2**53, so the rounded accumulators are bit-identical to
+the gather reference; kernels verify that bound at construction time and
+fall back to an always-safe formulation when it cannot be guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.multipliers.base import Multiplier
+
+#: canonical kernel strategy names (plus the "auto" selector)
+KERNEL_STRATEGIES = ("gather", "percode", "errorcorrection", "exact")
+
+#: accepted spellings for each canonical strategy name, keyed with every
+#: separator (space, dash, underscore) stripped
+_STRATEGY_ALIASES: Dict[str, str] = {
+    "gather": "gather",
+    "reference": "gather",
+    "percode": "percode",
+    "percodeblas": "percode",
+    "blas": "percode",
+    "errorcorrection": "errorcorrection",
+    "errcorr": "errorcorrection",
+    "exact": "exact",
+    "auto": "auto",
+}
+
+#: partial sums in the BLAS paths must stay below this to round exactly
+_EXACT_FLOAT_BOUND = float(1 << 52)
+
+#: give up on the integer rank factorisation beyond this many terms
+_MAX_FACTOR_RANK = 24
+
+#: abort the factorisation when residual entries grow past this magnitude
+_FACTOR_VALUE_BOUND = 1 << 40
+
+#: largest LUT side for which factor analysis is attempted (12-bit tables
+#: are 16M entries; peeling them buys nothing the cache does not)
+_MAX_ANALYSIS_BITS = 10
+
+#: "auto" only picks the error-correction active-code loop below this count
+_AUTO_ACTIVE_CODE_LIMIT = 32
+
+#: byte budget for per-kernel memoised per-code row tables
+_ROW_TABLE_CACHE_BYTES = 64 * 1024 * 1024
+
+
+def normalize_strategy(strategy: str) -> str:
+    """Map a user-facing kernel name onto its canonical spelling.
+
+    Case and the separators space/dash/underscore are ignored, so
+    ``"per-code BLAS"``, ``"percode"`` and ``"error_correction"`` all
+    resolve.
+    """
+    key = str(strategy).strip().lower()
+    for separator in (" ", "-", "_"):
+        key = key.replace(separator, "")
+    try:
+        return _STRATEGY_ALIASES[key]
+    except KeyError:
+        known = sorted(set(_STRATEGY_ALIASES.values()) | {"auto"})
+        raise ConfigurationError(
+            f"unknown kernel strategy {strategy!r}; known: {known}"
+        ) from None
+
+
+def integer_low_rank_factors(
+    table: np.ndarray,
+    max_rank: int = _MAX_FACTOR_RANK,
+    value_bound: int = _FACTOR_VALUE_BOUND,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Exact integer rank factorisation ``table = sum_i outer(F[i], G[i])``.
+
+    Performs Gaussian elimination with pivots restricted to entries that
+    divide their whole column exactly, so every factor stays integral and the
+    reconstruction is exact (not approximate).  Returns ``(F, G)`` with
+    shapes ``(r, rows)`` / ``(r, cols)``, or ``None`` when no such
+    factorisation with at most ``max_rank`` terms is found.  The zero table
+    factorises with rank 0.
+    """
+    residual = np.asarray(table, dtype=np.int64).copy()
+    if residual.ndim != 2:
+        raise ShapeError("integer_low_rank_factors expects a 2-D table")
+    fs, gs = [], []
+    for _ in range(max_rank):
+        if not residual.any():
+            rows, cols = residual.shape
+            if not fs:
+                return (
+                    np.zeros((0, rows), dtype=np.int64),
+                    np.zeros((0, cols), dtype=np.int64),
+                )
+            return np.array(fs, dtype=np.int64), np.array(gs, dtype=np.int64)
+        column_mass = np.abs(residual).sum(axis=0)
+        peeled = False
+        for b0 in np.argsort(-column_mass):
+            column = residual[:, b0]
+            nonzero = column[column != 0]
+            if nonzero.size == 0:
+                continue
+            gcd = np.gcd.reduce(np.abs(nonzero))
+            pivots = np.flatnonzero(np.abs(column) == gcd)
+            if pivots.size == 0:
+                continue  # gcd not attained by any entry: division inexact
+            a0 = int(pivots[0])
+            pivot = int(column[a0])
+            f = column // pivot
+            g = residual[a0, :].copy()
+            residual = residual - np.outer(f, g)
+            if np.abs(residual).max(initial=0) > value_bound:
+                return None
+            fs.append(f)
+            gs.append(g)
+            peeled = True
+            break
+        if not peeled:
+            return None
+    return None if residual.any() else (np.array(fs), np.array(gs))
+
+
+@dataclass(frozen=True)
+class MultiplierKernelProfile:
+    """Cached per-multiplier structure used to build and select kernels."""
+
+    #: exact integer factors of the product LUT, or None
+    lut_factors: Optional[Tuple[np.ndarray, np.ndarray]]
+    #: exact integer factors of the error LUT (approx - exact), or None
+    error_factors: Optional[Tuple[np.ndarray, np.ndarray]]
+    #: activation codes whose error-LUT row has any nonzero entry
+    error_active_codes: np.ndarray
+    #: fraction of nonzero entries in the error LUT
+    error_density: float
+
+    @property
+    def lut_rank(self) -> Optional[int]:
+        return None if self.lut_factors is None else len(self.lut_factors[0])
+
+    @property
+    def error_rank(self) -> Optional[int]:
+        return None if self.error_factors is None else len(self.error_factors[0])
+
+
+_PROFILE_CACHE: Dict[tuple, MultiplierKernelProfile] = {}
+
+
+def multiplier_kernel_profile(multiplier: Multiplier) -> MultiplierKernelProfile:
+    """Analyse (once per process per multiplier) the LUT structure."""
+    key = multiplier._lut_cache_key()
+    if key is not None and key in _PROFILE_CACHE:
+        return _PROFILE_CACHE[key]
+    error = multiplier.error_lut().astype(np.int64)
+    if multiplier.bit_width <= _MAX_ANALYSIS_BITS:
+        lut_factors = integer_low_rank_factors(multiplier.lut())
+        error_factors = integer_low_rank_factors(error)
+    else:
+        lut_factors = None
+        error_factors = None
+    profile = MultiplierKernelProfile(
+        lut_factors=lut_factors,
+        error_factors=error_factors,
+        error_active_codes=np.flatnonzero(np.any(error != 0, axis=1)),
+        error_density=float(np.count_nonzero(error)) / float(error.size),
+    )
+    if key is not None:
+        _PROFILE_CACHE[key] = profile
+    return profile
+
+
+def clear_profile_cache() -> None:
+    """Drop all cached multiplier kernel profiles."""
+    _PROFILE_CACHE.clear()
+
+
+def _factor_sum_bound(factors: Tuple[np.ndarray, np.ndarray], inner: int) -> float:
+    """Upper bound on any partial sum of a rank-decomposed accumulation."""
+    fs, gs = factors
+    if len(fs) == 0:
+        return 0.0
+    per_term = np.abs(fs).max(axis=1).astype(np.float64) * np.abs(gs).max(
+        axis=1
+    ).astype(np.float64)
+    return float(per_term.sum()) * float(inner)
+
+
+class MatmulKernel:
+    """A bound approximate-matmul kernel: fixed multiplier and weights.
+
+    Kernels are constructed once per Ax-layer (weights are constant during
+    inference) and then invoked with batches of activation codes.  Every
+    strategy returns the same int64 accumulator as the gather reference.
+    """
+
+    strategy: str = "base"
+
+    def __init__(
+        self,
+        multiplier: Multiplier,
+        weight_sign: np.ndarray,
+        weight_magnitude: np.ndarray,
+    ) -> None:
+        weight_sign = np.asarray(weight_sign, dtype=np.int64)
+        weight_magnitude = np.asarray(weight_magnitude, dtype=np.int64)
+        if weight_sign.ndim != 2 or weight_sign.shape != weight_magnitude.shape:
+            raise ShapeError(
+                "kernel weights must be 2-D sign/magnitude arrays of equal shape"
+            )
+        if weight_magnitude.size and (
+            weight_magnitude.min() < 0 or weight_magnitude.max() > multiplier.operand_max
+        ):
+            raise ConfigurationError(
+                f"weight magnitudes exceed the {multiplier.bit_width}-bit operand range"
+            )
+        self.multiplier = multiplier
+        self.weight_sign = weight_sign
+        self.weight_magnitude = weight_magnitude
+        self.inner, self.outputs = weight_sign.shape
+
+    # ------------------------------------------------------------------ API
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        """Integer accumulator ``(M, K) @ (K, N) -> (M, N)`` (int64)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable strategy summary (used by AxModel.kernel_report)."""
+        return self.strategy
+
+    # ------------------------------------------------------------ internals
+    def _check_codes(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(activation_codes, dtype=np.int64)
+        if codes.ndim != 2:
+            raise ShapeError("kernel matmul expects a 2-D activation-code matrix")
+        if codes.shape[1] != self.inner:
+            raise ShapeError(
+                f"inner dimensions disagree: {codes.shape} vs "
+                f"{self.weight_sign.shape}"
+            )
+        return codes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(multiplier={self.multiplier.name!r}, "
+            f"shape=({self.inner}, {self.outputs}))"
+        )
+
+
+class GatherKernel(MatmulKernel):
+    """The legacy chunked LUT-gather loop (reference semantics)."""
+
+    strategy = "gather"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        self._lut = multiplier.lut()
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        from repro.axnn.approx_ops import approx_matmul
+
+        codes = self._check_codes(activation_codes)
+        return approx_matmul(codes, self.weight_sign, self.weight_magnitude, self._lut)
+
+
+class ExactBLASKernel(MatmulKernel):
+    """Rounded float64 BLAS product; only valid for bit-exact multipliers."""
+
+    strategy = "exact"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        if not multiplier.is_exact():
+            raise ConfigurationError(
+                f"the 'exact' kernel requires a bit-exact multiplier, got "
+                f"{multiplier.name!r}"
+            )
+        self._signed_weights = (weight_sign * weight_magnitude).astype(np.float64)
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = self._check_codes(activation_codes)
+        product = codes.astype(np.float64) @ self._signed_weights
+        return np.rint(product).astype(np.int64)
+
+
+class _TableOperand:
+    """Weight-bound evaluation of one source table (product LUT or error LUT).
+
+    Shared machinery of the per-code and error-correction kernels: when the
+    table has an exact integer rank factorisation (within the float64
+    exactness bound), the per-code one-hot sum collapses into ``r`` fused
+    BLAS products ``sum_i f_i[A] @ (sign * g_i[mag])``; otherwise per-code
+    row tables ``T_c = sign * table[c, mag]`` are built lazily, memoised
+    under a byte budget, and applied as one one-hot matmul per code present.
+    """
+
+    def __init__(
+        self,
+        table: np.ndarray,
+        factors: Optional[Tuple[np.ndarray, np.ndarray]],
+        weight_sign: np.ndarray,
+        weight_magnitude: np.ndarray,
+        reserved_bound: float = 0.0,
+    ) -> None:
+        inner, outputs = weight_sign.shape
+        self.inner = inner
+        self.outputs = outputs
+        self.rank: Optional[int] = None
+        self.weight_magnitude = weight_magnitude
+        if factors is not None and (
+            _factor_sum_bound(factors, inner) + reserved_bound < _EXACT_FLOAT_BOUND
+        ):
+            fs, gs = factors
+            self.rank = len(fs)
+            #: (r, 2**bits) gather tables applied to the activation codes
+            self._code_factors = fs.astype(np.float64)
+            #: (r*K, N) stacked weight-side factors sign * g_i[mag]
+            sign_f = weight_sign.astype(np.float64)
+            self._weight_factors = (
+                np.concatenate(
+                    [sign_f * g.astype(np.float64)[weight_magnitude] for g in gs],
+                    axis=0,
+                )
+                if self.rank
+                else np.zeros((0, outputs))
+            )
+        else:
+            self._table_rows = table.astype(np.float64)
+            self._sign_f = weight_sign.astype(np.float64)
+            self._row_tables: Dict[int, np.ndarray] = {}
+            self._row_table_bytes = 0
+
+    @property
+    def is_low_rank(self) -> bool:
+        return self.rank is not None
+
+    def add_low_rank_product(
+        self, codes: np.ndarray, accumulator: np.ndarray
+    ) -> np.ndarray:
+        """Add the fused low-rank contribution for ``codes`` in place."""
+        if self.rank == 0:
+            return accumulator
+        if self.rank == 1:
+            gathered = self._code_factors[0][codes]
+        else:
+            gathered = np.ascontiguousarray(
+                np.moveaxis(self._code_factors[:, codes], 0, 1)
+            ).reshape(codes.shape[0], self.rank * self.inner)
+        accumulator += gathered @ self._weight_factors
+        return accumulator
+
+    def _row_table(self, code: int) -> np.ndarray:
+        table = self._row_tables.get(code)
+        if table is None:
+            table = self._sign_f * self._table_rows[code][self.weight_magnitude]
+            if self._row_table_bytes + table.nbytes <= _ROW_TABLE_CACHE_BYTES:
+                self._row_tables[code] = table
+                self._row_table_bytes += table.nbytes
+        return table
+
+    def add_per_code_products(
+        self,
+        codes: np.ndarray,
+        accumulator: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Add one one-hot matmul per (active) code present, in place."""
+        for code in np.unique(codes):
+            if active is not None and not active[int(code)]:
+                continue
+            onehot = (codes == code).astype(np.float64)
+            accumulator += onehot @ self._row_table(int(code))
+        return accumulator
+
+
+class PerCodeBLASKernel(MatmulKernel):
+    """Per-code one-hot decomposition routed through float64 BLAS.
+
+    With an exact integer rank factorisation of the LUT the per-code sum
+    collapses into ``r`` fused BLAS products; otherwise at most one matmul
+    per activation code present in the batch is issued, with the per-code
+    weight tables ``T_c`` built lazily and memoised under a byte budget.
+    """
+
+    strategy = "percode"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        profile = multiplier_kernel_profile(multiplier)
+        self._operand = _TableOperand(
+            multiplier.lut(), profile.lut_factors, weight_sign, weight_magnitude
+        )
+
+    def describe(self) -> str:
+        if self._operand.is_low_rank:
+            return f"percode[low-rank r={self._operand.rank}]"
+        return "percode[per-code loop]"
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = self._check_codes(activation_codes)
+        accumulator = np.zeros((codes.shape[0], self.outputs), dtype=np.float64)
+        if self._operand.is_low_rank:
+            self._operand.add_low_rank_product(codes, accumulator)
+        else:
+            self._operand.add_per_code_products(codes, accumulator)
+        return np.rint(accumulator).astype(np.int64)
+
+
+class ErrorCorrectionKernel(MatmulKernel):
+    """Exact BLAS product plus a correction drawn from the error LUT.
+
+    The correction uses the error table's exact integer factors when they
+    exist, and otherwise loops over only the error-active codes present in
+    the batch (the rows of ``error_lut()`` with any nonzero entry).
+    """
+
+    strategy = "errorcorrection"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        qmax = float(multiplier.operand_max)
+        exact_bound = qmax * qmax * qmax * max(self.inner, 1)
+        if exact_bound >= _EXACT_FLOAT_BOUND:
+            raise ConfigurationError(
+                "operand range too wide for an exactly-rounded BLAS product"
+            )
+        self._signed_weights = (weight_sign * weight_magnitude).astype(np.float64)
+        profile = multiplier_kernel_profile(multiplier)
+        self._operand = _TableOperand(
+            multiplier.error_lut(),
+            profile.error_factors,
+            weight_sign,
+            weight_magnitude,
+            reserved_bound=exact_bound,
+        )
+        if not self._operand.is_low_rank:
+            self._active = np.zeros(multiplier.operand_max + 1, dtype=bool)
+            self._active[profile.error_active_codes] = True
+
+    def describe(self) -> str:
+        if self._operand.is_low_rank:
+            return f"errorcorrection[exact + low-rank r={self._operand.rank}]"
+        return "errorcorrection[exact + active-code loop]"
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = self._check_codes(activation_codes)
+        accumulator = codes.astype(np.float64) @ self._signed_weights
+        if self._operand.is_low_rank:
+            self._operand.add_low_rank_product(codes, accumulator)
+        else:
+            self._operand.add_per_code_products(codes, accumulator, self._active)
+        return np.rint(accumulator).astype(np.int64)
+
+
+_KERNEL_CLASSES = {
+    "gather": GatherKernel,
+    "percode": PerCodeBLASKernel,
+    "errorcorrection": ErrorCorrectionKernel,
+    "exact": ExactBLASKernel,
+}
+
+KernelSpec = Union[str, MatmulKernel]
+
+
+def select_strategy(multiplier: Multiplier) -> str:
+    """The "auto" heuristic: pick the cheapest bit-identical strategy.
+
+    Bit-exact multipliers take the plain BLAS product.  Otherwise the choice
+    follows the error-LUT structure: a cheap low-rank (or sparse-row) error
+    table selects the error-correction kernel, a low-rank product LUT
+    selects the fused per-code BLAS kernel, and unstructured full-rank
+    tables (the compressor-tree circuit multipliers, Mitchell, noisy-LSB)
+    keep the reference gather loop, which measures faster than 2**bits
+    dense one-hot matmuls on a single core.
+    """
+    if multiplier.is_exact():
+        return "exact"
+    profile = multiplier_kernel_profile(multiplier)
+    lut_rank = profile.lut_rank
+    error_rank = profile.error_rank
+    if error_rank is not None and (lut_rank is None or error_rank + 1 < lut_rank):
+        return "errorcorrection"
+    if lut_rank is not None:
+        return "percode"
+    if profile.error_active_codes.size <= _AUTO_ACTIVE_CODE_LIMIT:
+        return "errorcorrection"
+    return "gather"
+
+
+def make_kernel(
+    multiplier: Multiplier,
+    weight_sign: np.ndarray,
+    weight_magnitude: np.ndarray,
+    strategy: KernelSpec = "auto",
+) -> MatmulKernel:
+    """Build a bound kernel for ``(multiplier, weights)``.
+
+    ``strategy`` is a canonical kernel name (see :data:`KERNEL_STRATEGIES`),
+    an accepted alias, ``"auto"`` (structure-based selection), or an already
+    constructed :class:`MatmulKernel` (returned unchanged).
+    """
+    if isinstance(strategy, MatmulKernel):
+        return strategy
+    name = normalize_strategy(strategy)
+    if name == "auto":
+        name = select_strategy(multiplier)
+    return _KERNEL_CLASSES[name](multiplier, weight_sign, weight_magnitude)

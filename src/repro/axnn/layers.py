@@ -15,7 +15,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.axnn.approx_ops import approx_dot_general, quantize_weights_sign_magnitude
+from repro.axnn.approx_ops import (
+    quantize_weights_sign_magnitude,
+    zero_point_correction_vector,
+)
+from repro.axnn.kernels import KernelSpec, make_kernel
 from repro.errors import ShapeError
 from repro.multipliers.base import Multiplier
 from repro.nn.functional import im2col
@@ -61,6 +65,7 @@ class AxDense(AxLayer):
         multiplier: Multiplier,
         activation_scheme: AffineQuantization,
         weight_bits: int = 8,
+        kernel: KernelSpec = "auto",
     ) -> None:
         super().__init__(f"ax_{source.name}")
         self.multiplier = multiplier
@@ -71,18 +76,25 @@ class AxDense(AxLayer):
         )
         self.bias = source.params.get("bias")
         self.units = source.units
+        # Bound kernel and zero-point correction are built once per layer:
+        # the weights are constant during inference, so every per-weight
+        # table (per-code factors, signed-weight BLAS operand, correction
+        # vector) is paid for here instead of on every forward call.
+        self.kernel = make_kernel(
+            multiplier, self.weight_sign, self.weight_magnitude, kernel
+        )
+        self._zero_point_correction = zero_point_correction_vector(
+            self.weight_sign, self.weight_magnitude
+        )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2:
             raise ShapeError(f"{self.name}: expected 2-D input, got {x.shape}")
         codes = self.activation_scheme.quantize(x)
-        accumulator = approx_dot_general(
-            codes,
-            self.weight_sign,
-            self.weight_magnitude,
-            self.multiplier,
-            zero_point=self.activation_scheme.zero_point,
-        )
+        accumulator = self.kernel.matmul(codes)
+        zero_point = self.activation_scheme.zero_point
+        if zero_point:
+            accumulator = accumulator - zero_point * self._zero_point_correction[None, :]
         y = accumulator.astype(np.float64) * (
             self.activation_scheme.scale * self.weight_scale
         )
@@ -100,6 +112,7 @@ class AxConv2D(AxLayer):
         multiplier: Multiplier,
         activation_scheme: AffineQuantization,
         weight_bits: int = 8,
+        kernel: KernelSpec = "auto",
     ) -> None:
         super().__init__(f"ax_{source.name}")
         self.multiplier = multiplier
@@ -113,6 +126,12 @@ class AxConv2D(AxLayer):
             quantize_weights_sign_magnitude(flattened, bits=weight_bits)
         )
         self.bias = source.params.get("bias")
+        self.kernel = make_kernel(
+            multiplier, self.weight_sign, self.weight_magnitude, kernel
+        )
+        self._zero_point_correction = zero_point_correction_vector(
+            self.weight_sign, self.weight_magnitude
+        )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
@@ -120,13 +139,10 @@ class AxConv2D(AxLayer):
         cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.pad_amount)
         batch, out_h, out_w, patch = cols.shape
         codes = self.activation_scheme.quantize(cols.reshape(-1, patch))
-        accumulator = approx_dot_general(
-            codes,
-            self.weight_sign,
-            self.weight_magnitude,
-            self.multiplier,
-            zero_point=self.activation_scheme.zero_point,
-        )
+        accumulator = self.kernel.matmul(codes)
+        zero_point = self.activation_scheme.zero_point
+        if zero_point:
+            accumulator = accumulator - zero_point * self._zero_point_correction[None, :]
         y = accumulator.astype(np.float64) * (
             self.activation_scheme.scale * self.weight_scale
         )

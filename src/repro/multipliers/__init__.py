@@ -12,7 +12,13 @@ Public surface:
 * the hardware-cost model in :mod:`repro.multipliers.energy`.
 """
 
-from repro.multipliers.base import CircuitMultiplier, LUTMultiplier, Multiplier
+from repro.multipliers.base import (
+    CircuitMultiplier,
+    LUTMultiplier,
+    Multiplier,
+    clear_global_lut_cache,
+    global_lut_cache_size,
+)
 from repro.multipliers.behavioral import (
     BrokenCarryMultiplier,
     DrumMultiplier,
@@ -94,6 +100,8 @@ __all__ = [
     "alexnet_set",
     "paper_label",
     "clear_cache",
+    "clear_global_lut_cache",
+    "global_lut_cache_size",
     "LENET_MULTIPLIERS",
     "ALEXNET_MULTIPLIERS",
     "ACCURATE_MULTIPLIER",

@@ -15,11 +15,28 @@ characterised identically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: process-wide LUT store keyed by multiplier identity (class, name,
+#: bit width and scalar configuration).  Circuit-backed tables cost seconds
+#: to build; they are built once per process and shared read-only between
+#: every instance of the same multiplier, surviving per-instance
+#: ``clear_cache`` calls.
+_GLOBAL_LUT_CACHE: Dict[Tuple, np.ndarray] = {}
+
+
+def clear_global_lut_cache() -> None:
+    """Drop every process-wide cached LUT (forces true rebuilds)."""
+    _GLOBAL_LUT_CACHE.clear()
+
+
+def global_lut_cache_size() -> int:
+    """Number of LUTs currently held in the process-wide cache."""
+    return len(_GLOBAL_LUT_CACHE)
 
 
 class Multiplier(ABC):
@@ -65,21 +82,51 @@ class Multiplier(ABC):
             )
         return np.asarray(self._compute(a, b), dtype=np.int64)
 
+    def _lut_cache_key(self) -> Optional[Tuple]:
+        """Key identifying this multiplier in the process-wide LUT cache.
+
+        The key combines the class name with every scalar public attribute
+        (name, bit width, truncation amounts, seeds, ...), so differently
+        parameterised instances of the same family do not collide.  Return
+        ``None`` to opt out of process-wide sharing.
+        """
+        scalars = tuple(
+            (key, value)
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_") and isinstance(value, (bool, int, float, str))
+        )
+        return (type(self).__name__,) + scalars
+
     def lut(self) -> np.ndarray:
         """Return (building and caching on first use) the full product LUT.
 
         The table has shape ``(2**bit_width, 2**bit_width)`` and dtype
         ``int32``; entry ``[a, b]`` is the multiplier's output for operands
-        ``a`` and ``b``.
+        ``a`` and ``b``.  Tables are shared process-wide between instances
+        with the same :meth:`_lut_cache_key` and are therefore read-only;
+        they survive per-instance :meth:`clear_cache` calls (use
+        :func:`clear_global_lut_cache` to force a rebuild).
         """
         if self._lut is None:
-            n = 1 << self.bit_width
-            a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-            self._lut = self.multiply(a, b).astype(np.int32)
+            key = self._lut_cache_key()
+            table = _GLOBAL_LUT_CACHE.get(key) if key is not None else None
+            if table is None:
+                n = 1 << self.bit_width
+                a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+                table = self.multiply(a, b).astype(np.int32)
+                table.setflags(write=False)
+                if key is not None:
+                    _GLOBAL_LUT_CACHE[key] = table
+            self._lut = table
         return self._lut
 
     def clear_cache(self) -> None:
-        """Drop the cached LUT (useful in memory-constrained test runs)."""
+        """Drop this instance's LUT reference.
+
+        The process-wide cache entry (if any) is kept, so a later
+        :meth:`lut` call re-attaches the shared table instead of rebuilding
+        it; :func:`clear_global_lut_cache` drops the shared entries too.
+        """
         self._lut = None
 
     # ------------------------------------------------------------ utilities
@@ -121,8 +168,36 @@ class LUTMultiplier(Multiplier):
         self._table = table.astype(np.int32)
         self._lut = self._table
 
+    def _lut_cache_key(self) -> Optional[Tuple]:
+        # The table is caller-supplied: two LUTMultipliers may share a name
+        # but not a table, and there is nothing to save by sharing anyway.
+        return None
+
     def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self._table[a, b]
+
+
+def _config_token(obj, depth: int = 2):
+    """Hashable structural description of a configuration object.
+
+    Captures the class name and scalar public attributes, recursing one
+    level into nested component objects (approximate adder cells,
+    compressors, ...) so that two circuits of the same class but different
+    composition produce different tokens.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    token = [type(obj).__name__]
+    if depth > 0:
+        try:
+            attrs = vars(obj)
+        except TypeError:
+            attrs = {}
+        for key, value in sorted(attrs.items()):
+            if key.startswith("_"):
+                continue
+            token.append((key, _config_token(value, depth - 1)))
+    return tuple(token)
 
 
 class CircuitMultiplier(Multiplier):
@@ -136,6 +211,13 @@ class CircuitMultiplier(Multiplier):
                 f"bit_width {bit_width}"
             )
         self.circuit = circuit
+
+    def _lut_cache_key(self) -> Optional[Tuple]:
+        # The circuit is the behaviour: same-named adapters around different
+        # circuits must not share a LUT, so the key includes the circuit's
+        # structural description (class + parameters + component cells).
+        base_key = super()._lut_cache_key()
+        return None if base_key is None else base_key + (_config_token(self.circuit),)
 
     def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return self.circuit.multiply(a, b)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import UnknownComponentError
-from repro.multipliers import evoapprox
+from repro.multipliers import base, evoapprox
 from repro.multipliers.base import Multiplier
 from repro.multipliers.metrics import MultiplierErrorReport, error_report
 
@@ -106,5 +106,16 @@ def error_reports(names: Optional[Sequence[str]] = None) -> List[MultiplierError
 
 
 def clear_cache() -> None:
-    """Drop all cached multiplier instances (and their LUTs)."""
+    """Drop all cached multiplier instances (and their LUTs).
+
+    Also empties the process-wide LUT store and the kernel-profile cache
+    derived from it, so subsequent look-ups rebuild everything from scratch
+    — the full-reset hammer used by memory-constrained and
+    isolation-sensitive test runs.
+    """
     _CACHE.clear()
+    base.clear_global_lut_cache()
+    # Local import: repro.axnn depends on repro.multipliers, not vice versa.
+    from repro.axnn.kernels import clear_profile_cache
+
+    clear_profile_cache()

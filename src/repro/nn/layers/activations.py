@@ -12,8 +12,9 @@ class ReLU(Layer):
     """Rectified linear unit."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        mask = x > 0
+        self._mask = mask if self._keep_grad_cache(training) else None
+        return np.where(mask, x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output * self._mask
@@ -23,8 +24,9 @@ class Tanh(Layer):
     """Hyperbolic tangent."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._output = np.tanh(x)
-        return self._output
+        output = np.tanh(x)
+        self._output = output if self._keep_grad_cache(training) else None
+        return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output * (1.0 - self._output ** 2)
@@ -34,8 +36,9 @@ class Sigmoid(Layer):
     """Logistic sigmoid."""
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._output = 1.0 / (1.0 + np.exp(-x))
-        return self._output
+        output = 1.0 / (1.0 + np.exp(-x))
+        self._output = output if self._keep_grad_cache(training) else None
+        return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output * self._output * (1.0 - self._output)
@@ -51,8 +54,9 @@ class Softmax(Layer):
     """
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._output = softmax(x, axis=-1)
-        return self._output
+        output = softmax(x, axis=-1)
+        self._output = output if self._keep_grad_cache(training) else None
+        return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         # Jacobian-vector product of softmax: s * (g - sum(g * s))

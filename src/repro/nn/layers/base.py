@@ -9,9 +9,41 @@ call must always follow the forward call whose inputs it differentiates.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
+
+#: when False, layers skip storing forward-pass caches (see no_grad_cache)
+_GRAD_CACHE_ENABLED = True
+
+
+def grad_cache_enabled() -> bool:
+    """Whether evaluation-mode forwards should keep backward caches.
+
+    Adversarial attacks differentiate the loss through an inference-mode
+    forward pass, so caches are kept by default even when ``training`` is
+    False.  Pure-inference paths (batched ``predict``) disable them via
+    :func:`no_grad_cache` so im2col buffers are not pinned per layer.
+    """
+    return _GRAD_CACHE_ENABLED
+
+
+@contextmanager
+def no_grad_cache() -> Iterator[None]:
+    """Context manager marking a forward pass as pure inference.
+
+    Inside the context, layers neither store nor keep forward-pass caches
+    (a following ``backward`` call will fail); previously pinned buffers are
+    released as layers are traversed.
+    """
+    global _GRAD_CACHE_ENABLED
+    previous = _GRAD_CACHE_ENABLED
+    _GRAD_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_CACHE_ENABLED = previous
 
 
 class Layer:
@@ -51,6 +83,16 @@ class Layer:
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Propagate gradients; fills ``self.grads`` and returns grad wrt input."""
         raise NotImplementedError
+
+    def _keep_grad_cache(self, training: bool) -> bool:
+        """Whether this forward pass should retain backward caches.
+
+        True during training and during default inference (adversarial
+        attacks differentiate through inference-mode forwards); False inside
+        :func:`no_grad_cache`, where layers must not pin activation-sized
+        buffers.
+        """
+        return training or _GRAD_CACHE_ENABLED
 
     # ----------------------------------------------------------- utilities
     @property

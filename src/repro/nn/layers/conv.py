@@ -92,9 +92,15 @@ class Conv2D(Layer):
         if self.use_bias:
             y = y + self.params["bias"]
         # Caches are kept in evaluation mode as well so that adversarial
-        # attacks can differentiate the loss with respect to the input.
-        self._cols_cache = cols
-        self._input_shape_cache = x.shape
+        # attacks can differentiate the loss with respect to the input —
+        # except under no_grad_cache (pure batched inference), where keeping
+        # them would pin one im2col buffer per layer for no benefit.
+        if self._keep_grad_cache(training):
+            self._cols_cache = cols
+            self._input_shape_cache = x.shape
+        else:
+            self._cols_cache = None
+            self._input_shape_cache = None
         return y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

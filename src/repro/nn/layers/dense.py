@@ -58,8 +58,9 @@ class Dense(Layer):
         if x.ndim != 2:
             raise ShapeError(f"{self.name}: expected 2-D input, got shape {x.shape}")
         # The input is cached in both training and evaluation mode: adversarial
-        # attacks need input gradients of the model in evaluation mode.
-        self._input_cache = x
+        # attacks need input gradients of the model in evaluation mode.  Under
+        # no_grad_cache (pure batched inference) the reference is dropped.
+        self._input_cache = x if self._keep_grad_cache(training) else None
         y = x @ self.params["weight"]
         if self.use_bias:
             y = y + self.params["bias"]

@@ -54,10 +54,17 @@ class BatchNorm(Layer):
         else:
             mean = self.running_mean
             var = self.running_var
-        self._std = np.sqrt(var + self.epsilon)
-        self._x_hat = (x - mean) / self._std
-        self._batch_axes = axes
-        return self.params["gamma"] * self._x_hat + self.params["beta"]
+        std = np.sqrt(var + self.epsilon)
+        x_hat = (x - mean) / std
+        if self._keep_grad_cache(training):
+            self._std = std
+            self._x_hat = x_hat
+            self._batch_axes = axes
+        else:
+            self._std = None
+            self._x_hat = None
+            self._batch_axes = None
+        return self.params["gamma"] * x_hat + self.params["beta"]
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         axes = self._batch_axes

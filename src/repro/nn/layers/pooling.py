@@ -84,7 +84,10 @@ class MaxPool2D(_Pool2D):
             raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
         self._input_shape = x.shape
         windows = self._windows(x)
-        self._argmax = windows.argmax(axis=-1)
+        # The argmax map is activation-sized; skip it in pure inference.
+        self._argmax = (
+            windows.argmax(axis=-1) if self._keep_grad_cache(training) else None
+        )
         return windows.max(axis=-1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

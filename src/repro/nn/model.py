@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, NotFittedError, ShapeError
-from repro.nn.layers.base import Layer
+from repro.nn.layers.base import Layer, no_grad_cache
 from repro.nn.losses import CrossEntropyLoss, Loss
 
 
@@ -91,12 +91,21 @@ class Sequential:
         return grad
 
     def predict(self, x: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Batched inference returning the final layer output (e.g. logits)."""
+        """Batched inference returning the final layer output (e.g. logits).
+
+        Runs under :func:`repro.nn.layers.base.no_grad_cache`: backward
+        caches (im2col buffers, layer inputs) are neither stored nor kept,
+        so memory stays flat regardless of model depth and batch count.  Use
+        ``forward``/``input_gradient`` when gradients are needed.
+        """
         self._require_built()
         x = np.asarray(x, dtype=np.float64)
         outputs = []
-        for start in range(0, x.shape[0], batch_size):
-            outputs.append(self.forward(x[start : start + batch_size], training=False))
+        with no_grad_cache():
+            for start in range(0, x.shape[0], batch_size):
+                outputs.append(
+                    self.forward(x[start : start + batch_size], training=False)
+                )
         return np.concatenate(outputs, axis=0)
 
     def predict_classes(self, x: np.ndarray, batch_size: int = 128) -> np.ndarray:

@@ -48,11 +48,24 @@ class TestExactMultiplier:
         m = ExactMultiplier()
         assert m.lut() is m.lut()
 
-    def test_clear_cache(self):
+    def test_clear_cache_reattaches_shared_lut(self):
+        # clear_cache drops the instance reference only; the process-wide
+        # cache keeps the table, so the next lut() call re-attaches it.
         m = ExactMultiplier()
         first = m.lut()
         m.clear_cache()
-        assert m.lut() is not first
+        assert m.lut() is first
+
+    def test_global_clear_forces_rebuild(self):
+        from repro.multipliers.base import clear_global_lut_cache
+
+        m = ExactMultiplier()
+        first = m.lut()
+        m.clear_cache()
+        clear_global_lut_cache()
+        rebuilt = m.lut()
+        assert rebuilt is not first
+        assert np.array_equal(rebuilt, first)
 
 
 class TestValidation:
