@@ -7,7 +7,7 @@ Four panels: (a) linf BIM, (b) l2 BIM, (c) linf FGM, (d) l2 FGM, each a
 import numpy as np
 import pytest
 
-from benchmarks.conftest import EPSILONS, report_grid
+from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
 from repro.analysis import compare_with_paper_grid, lenet_paper_grid
 from repro.attacks import get_attack
 from repro.robustness import multiplier_sweep
@@ -22,6 +22,7 @@ def _panel(lenet_bundle, attack_key):
         lenet_bundle["y"],
         EPSILONS,
         "synthetic-mnist",
+        workers=BENCH_WORKERS,
     )
 
 

@@ -8,7 +8,7 @@ high-error AxDNNs.
 
 import pytest
 
-from benchmarks.conftest import EPSILONS, report_grid
+from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
 from repro.analysis import (
     approximation_not_universally_defensive,
     compare_with_paper_grid,
@@ -27,6 +27,7 @@ def _panel(lenet_bundle, attack_key):
         lenet_bundle["y"],
         EPSILONS,
         "synthetic-mnist",
+        workers=BENCH_WORKERS,
     )
 
 

@@ -9,7 +9,7 @@ everything collapses at large budgets.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import EPSILONS, report_grid
+from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
 from repro.analysis import alexnet_paper_grid, compare_with_paper_grid
 from repro.attacks import get_attack
 from repro.robustness import multiplier_sweep
@@ -24,6 +24,7 @@ def _panel(alexnet_bundle, attack_key):
         alexnet_bundle["y"],
         EPSILONS,
         "synthetic-cifar10",
+        workers=BENCH_WORKERS,
     )
 
 

@@ -8,7 +8,7 @@ benefit away.
 
 import pytest
 
-from benchmarks.conftest import EPSILONS, save_payload
+from benchmarks.conftest import BENCH_WORKERS, EPSILONS, save_payload
 from repro.attacks import available_attacks, get_attack
 from repro.robustness import quantization_study
 
@@ -26,6 +26,7 @@ def test_fig8_quantized_vs_float(benchmark, lenet_bundle):
             lenet_bundle["y"],
             EPSILONS,
             lenet_bundle["calibration"],
+            workers=BENCH_WORKERS,
         )
 
     study = benchmark.pedantic(run, rounds=1, iterations=1)

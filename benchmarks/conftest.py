@@ -15,6 +15,9 @@ Scale knobs (environment variables):
     Training-set size for the accurate models (default 1500).
 ``REPRO_BENCH_EPOCHS``
     Training epochs for the accurate models (default 4).
+``REPRO_BENCH_WORKERS``
+    Worker threads for victim evaluation in the figure sweeps (default
+    ``auto`` = one per core; results are invariant to this knob).
 
 The measured grids are also written as JSON to ``benchmarks/results/`` so the
 paper-vs-measured record in EXPERIMENTS.md can be regenerated.
@@ -41,6 +44,9 @@ N_MNIST_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "60"))
 N_CIFAR_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES_CIFAR", "32"))
 N_TRAIN = int(os.environ.get("REPRO_BENCH_TRAIN", "1500"))
 N_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "4"))
+
+#: worker threads used by every figure sweep (grids are invariant to this)
+BENCH_WORKERS = os.environ.get("REPRO_BENCH_WORKERS", "auto")
 
 #: the full epsilon sweep used by every figure of the paper
 EPSILONS: List[float] = list(PAPER_EPSILONS)

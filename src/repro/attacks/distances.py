@@ -75,6 +75,12 @@ def project_linf_ball(perturbation: np.ndarray, radius: float) -> np.ndarray:
 
 
 def normalize_l2(x: np.ndarray) -> np.ndarray:
-    """Scale every sample of a batch to unit l2 norm (zero vectors stay zero)."""
+    """Scale every sample of a batch to unit l2 norm (zero vectors stay zero).
+
+    Samples whose computed norm is exactly zero are zeroed out rather than
+    divided by the epsilon guard: denormal inputs can underflow the
+    squared-norm accumulation to 0.0, and dividing them by the guard would
+    produce a tiny non-zero "direction" out of numerical noise.
+    """
     norms = batch_l2_norm(x)
-    return x / np.maximum(norms, 1e-12)
+    return np.where(norms == 0.0, 0.0, x / np.maximum(norms, 1e-12))

@@ -4,7 +4,9 @@ Converts trained float models into 8-bit quantized models whose every
 activation x weight product is evaluated through an approximate-multiplier
 look-up table.  The LUT matmul itself runs through a pluggable kernel engine
 (:mod:`repro.axnn.kernels`) with bit-identical gather / per-code BLAS /
-error-correction strategies.
+error-correction / sparse one-hot strategies, and batched prediction shards
+across worker threads via the parallel runtime (:mod:`repro.nn.runtime`,
+re-exported here).
 """
 
 from repro.axnn.approx_ops import (
@@ -22,12 +24,20 @@ from repro.axnn.kernels import (
     GatherKernel,
     MatmulKernel,
     PerCodeBLASKernel,
+    SparseOneHotKernel,
     integer_low_rank_factors,
     make_kernel,
     multiplier_kernel_profile,
     select_strategy,
 )
 from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
+from repro.nn.runtime import (
+    available_workers,
+    batch_slices,
+    resolve_workers,
+    run_sharded,
+    validate_batch_size,
+)
 
 __all__ = [
     "approx_matmul",
@@ -41,6 +51,7 @@ __all__ = [
     "ExactBLASKernel",
     "PerCodeBLASKernel",
     "ErrorCorrectionKernel",
+    "SparseOneHotKernel",
     "integer_low_rank_factors",
     "make_kernel",
     "multiplier_kernel_profile",
@@ -52,4 +63,9 @@ __all__ = [
     "AxModel",
     "build_axdnn",
     "build_quantized_accurate",
+    "available_workers",
+    "batch_slices",
+    "resolve_workers",
+    "run_sharded",
+    "validate_batch_size",
 ]

@@ -34,6 +34,19 @@ float64 BLAS instead:
     error-active codes present in the batch).  Near-free for mild
     multipliers whose error tables are mostly zero or low-rank.
 
+``sparse``
+    The per-code one-hot sum evaluated as a *single* scipy.sparse matmul:
+    the activation codes become one CSR one-hot matrix ``S`` of shape
+    ``(M, 2**bits * K)`` with exactly ``K`` ones per row, and the weights
+    become one stacked table ``T[c*K + k, n] = sign[k, n] * LUT[c,
+    mag[k, n]]`` built once per layer (chunked over the codes present in
+    the batch when the full stack exceeds a byte budget).  All arithmetic
+    is int64, so the result is exact by construction.  This is the escape
+    hatch for *full-rank* LUTs (the compressor-tree circuits M6/M9/A4/A8,
+    Mitchell, noisy-LSB) that admit no low-rank factorisation: it does
+    ``M*K`` row-accumulations instead of ``2**bits`` dense one-hot matmuls
+    or the reference gather's fancy-indexed ``(m, K, N)`` tensor.
+
 ``exact``
     A plain rounded float64 BLAS product; only valid for bit-exact
     multipliers (the quantized accurate DNN).
@@ -46,16 +59,22 @@ fall back to an always-safe formulation when it cannot be guaranteed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+try:  # scipy ships with the toolchain; degrade to gather if it ever vanishes
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - scipy is a baked-in dependency
+    _scipy_sparse = None
+
 from repro.errors import ConfigurationError, ShapeError
 from repro.multipliers.base import Multiplier
 
 #: canonical kernel strategy names (plus the "auto" selector)
-KERNEL_STRATEGIES = ("gather", "percode", "errorcorrection", "exact")
+KERNEL_STRATEGIES = ("gather", "percode", "errorcorrection", "sparse", "exact")
 
 #: accepted spellings for each canonical strategy name, keyed with every
 #: separator (space, dash, underscore) stripped
@@ -67,6 +86,9 @@ _STRATEGY_ALIASES: Dict[str, str] = {
     "blas": "percode",
     "errorcorrection": "errorcorrection",
     "errcorr": "errorcorrection",
+    "sparse": "sparse",
+    "onehot": "sparse",
+    "sparseonehot": "sparse",
     "exact": "exact",
     "auto": "auto",
 }
@@ -89,6 +111,10 @@ _AUTO_ACTIVE_CODE_LIMIT = 32
 
 #: byte budget for per-kernel memoised per-code row tables
 _ROW_TABLE_CACHE_BYTES = 64 * 1024 * 1024
+
+#: byte budget for the sparse kernel's stacked (2**bits * K, N) weight table;
+#: larger shapes fall back to chunking over the codes present in the batch
+_SPARSE_STACK_BUDGET_BYTES = 256 * 1024 * 1024
 
 
 def normalize_strategy(strategy: str) -> str:
@@ -188,27 +214,39 @@ class MultiplierKernelProfile:
 
 _PROFILE_CACHE: Dict[tuple, MultiplierKernelProfile] = {}
 
+#: serialises first-touch profile analysis so concurrent kernel builds (the
+#: parallel runtime shards batches across threads) share one cached profile
+_PROFILE_LOCK = threading.Lock()
+
 
 def multiplier_kernel_profile(multiplier: Multiplier) -> MultiplierKernelProfile:
-    """Analyse (once per process per multiplier) the LUT structure."""
+    """Analyse (once per process per multiplier) the LUT structure.
+
+    Safe under concurrent first-touch calls from worker threads: the
+    analysis runs under a lock and every caller receives the same cached
+    profile object.
+    """
     key = multiplier._lut_cache_key()
     if key is not None and key in _PROFILE_CACHE:
         return _PROFILE_CACHE[key]
-    error = multiplier.error_lut().astype(np.int64)
-    if multiplier.bit_width <= _MAX_ANALYSIS_BITS:
-        lut_factors = integer_low_rank_factors(multiplier.lut())
-        error_factors = integer_low_rank_factors(error)
-    else:
-        lut_factors = None
-        error_factors = None
-    profile = MultiplierKernelProfile(
-        lut_factors=lut_factors,
-        error_factors=error_factors,
-        error_active_codes=np.flatnonzero(np.any(error != 0, axis=1)),
-        error_density=float(np.count_nonzero(error)) / float(error.size),
-    )
-    if key is not None:
-        _PROFILE_CACHE[key] = profile
+    with _PROFILE_LOCK:
+        if key is not None and key in _PROFILE_CACHE:
+            return _PROFILE_CACHE[key]
+        error = multiplier.error_lut().astype(np.int64)
+        if multiplier.bit_width <= _MAX_ANALYSIS_BITS:
+            lut_factors = integer_low_rank_factors(multiplier.lut())
+            error_factors = integer_low_rank_factors(error)
+        else:
+            lut_factors = None
+            error_factors = None
+        profile = MultiplierKernelProfile(
+            lut_factors=lut_factors,
+            error_factors=error_factors,
+            error_active_codes=np.flatnonzero(np.any(error != 0, axis=1)),
+            error_density=float(np.count_nonzero(error)) / float(error.size),
+        )
+        if key is not None:
+            _PROFILE_CACHE[key] = profile
     return profile
 
 
@@ -371,6 +409,9 @@ class _TableOperand:
             self._sign_f = weight_sign.astype(np.float64)
             self._row_tables: Dict[int, np.ndarray] = {}
             self._row_table_bytes = 0
+            # memoisation is shared when the bound kernel serves concurrent
+            # batch shards; the lock keeps the byte accounting consistent
+            self._row_table_lock = threading.Lock()
 
     @property
     def is_low_rank(self) -> bool:
@@ -395,9 +436,12 @@ class _TableOperand:
         table = self._row_tables.get(code)
         if table is None:
             table = self._sign_f * self._table_rows[code][self.weight_magnitude]
-            if self._row_table_bytes + table.nbytes <= _ROW_TABLE_CACHE_BYTES:
-                self._row_tables[code] = table
-                self._row_table_bytes += table.nbytes
+            with self._row_table_lock:
+                if code in self._row_tables:
+                    table = self._row_tables[code]
+                elif self._row_table_bytes + table.nbytes <= _ROW_TABLE_CACHE_BYTES:
+                    self._row_tables[code] = table
+                    self._row_table_bytes += table.nbytes
         return table
 
     def add_per_code_products(
@@ -494,10 +538,122 @@ class ErrorCorrectionKernel(MatmulKernel):
         return np.rint(accumulator).astype(np.int64)
 
 
+class SparseOneHotKernel(MatmulKernel):
+    """Full-rank LUT matmul as a single scipy.sparse one-hot product.
+
+    The accumulation ``result = sum_c onehot(A == c) @ T_c`` is evaluated in
+    one shot: the activation codes become a CSR matrix ``S`` of shape
+    ``(M, C*K)`` holding exactly one 1 per ``(m, k)`` entry at column
+    ``A[m, k] * K + k``, and the weight side becomes the stacked table
+    ``T[c*K + k, n] = sign[k, n] * LUT[c, mag[k, n]]``, built once per layer
+    at construction when it fits the byte budget (every layer of the repo's
+    model zoo does).  All arithmetic is integer, so the accumulator is
+    exact — bit-identical to the gather reference with no float-rounding
+    argument required; int32 operands are used when the worst-case partial
+    sum ``K * max|LUT|`` fits in 31 bits (half the memory traffic), int64
+    otherwise.
+
+    Shapes whose stacked table exceeds the budget adapt per call: batches
+    with ``M >= 2*C`` rebuild the table in budget-bounded code chunks (the
+    ``O(C*K*N)`` rebuild is then dominated by the ``O(M*K*N)`` product),
+    while smaller batches delegate to the chunked gather reference, which
+    is the cheapest known evaluation when tables cannot be amortised.
+    """
+
+    strategy = "sparse"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        if _scipy_sparse is None:  # pragma: no cover - scipy is baked in
+            raise ConfigurationError(
+                "the 'sparse' kernel requires scipy; install it or pick "
+                "another strategy"
+            )
+        self._lut = multiplier.lut()
+        self.codes_total = multiplier.operand_max + 1
+        lut_peak = max(1, int(np.abs(self._lut).max(initial=1)))
+        self._dtype = (
+            np.int32 if max(self.inner, 1) * lut_peak < (1 << 31) else np.int64
+        )
+        row_bytes = self.inner * self.outputs * np.dtype(self._dtype).itemsize
+        #: codes per chunk when the stacked table is built on the fly
+        self.group_codes = max(1, _SPARSE_STACK_BUDGET_BYTES // max(1, row_bytes))
+        if self.codes_total * row_bytes <= _SPARSE_STACK_BUDGET_BYTES:
+            self._stacked_table: Optional[np.ndarray] = self._stack_rows(
+                np.arange(self.codes_total)
+            )
+        else:
+            self._stacked_table = None
+
+    def describe(self) -> str:
+        bits = 8 * np.dtype(self._dtype).itemsize
+        if self._stacked_table is not None:
+            return f"sparse[stacked one-hot, int{bits}]"
+        return (
+            f"sparse[grouped one-hot, int{bits}, {self.group_codes} codes/chunk, "
+            "gather below amortisation]"
+        )
+
+    def _stack_rows(self, codes_subset: np.ndarray) -> np.ndarray:
+        """Stacked weight table ``(len(subset)*K, N)`` for a code subset."""
+        rows = self._lut[np.asarray(codes_subset, dtype=np.intp)]
+        gathered = rows.astype(self._dtype)[:, self.weight_magnitude]
+        gathered *= self.weight_sign[None, :, :].astype(self._dtype)
+        return gathered.reshape(-1, self.outputs)
+
+    def _onehot(self, codes: np.ndarray, n_code_blocks: int):
+        """CSR one-hot of shape ``(M, n_code_blocks * K)`` — K ones per row."""
+        m, k = codes.shape
+        columns = (codes * k + np.arange(k, dtype=np.int64)[None, :]).ravel()
+        indptr = np.arange(m + 1, dtype=np.int64) * k
+        data = np.ones(m * k, dtype=self._dtype)
+        return _scipy_sparse.csr_array(
+            (data, columns, indptr), shape=(m, n_code_blocks * k)
+        )
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = self._check_codes(activation_codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.codes_total):
+            raise ConfigurationError(
+                f"activation codes outside the {self.multiplier.bit_width}-bit "
+                "operand range"
+            )
+        if self._stacked_table is not None:
+            product = self._onehot(codes, self.codes_total) @ self._stacked_table
+            return np.asarray(product, dtype=np.int64)
+        if codes.shape[0] >= 2 * self.codes_total:
+            return self._matmul_grouped(codes)
+        # Below the amortisation point the table rebuild would cost more
+        # than the product itself; the chunked gather reference is cheapest.
+        from repro.axnn.approx_ops import approx_matmul
+
+        return approx_matmul(codes, self.weight_sign, self.weight_magnitude, self._lut)
+
+    def _matmul_grouped(self, codes: np.ndarray) -> np.ndarray:
+        """Chunk the one-hot product over groups of codes present in the batch."""
+        result = np.zeros((codes.shape[0], self.outputs), dtype=np.int64)
+        present = np.unique(codes)
+        k = self.inner
+        for start in range(0, present.size, self.group_codes):
+            group = present[start : start + self.group_codes]
+            position = np.full(self.codes_total, -1, dtype=np.int64)
+            position[group] = np.arange(group.size)
+            in_group = position[codes] >= 0
+            row_index, k_index = np.nonzero(in_group)
+            columns = position[codes[row_index, k_index]] * k + k_index
+            block = _scipy_sparse.csr_array(
+                (np.ones(row_index.size, dtype=self._dtype), (row_index, columns)),
+                shape=(codes.shape[0], group.size * k),
+            )
+            result += block @ self._stack_rows(group)
+        return result
+
+
 _KERNEL_CLASSES = {
     "gather": GatherKernel,
     "percode": PerCodeBLASKernel,
     "errorcorrection": ErrorCorrectionKernel,
+    "sparse": SparseOneHotKernel,
     "exact": ExactBLASKernel,
 }
 
@@ -512,8 +668,10 @@ def select_strategy(multiplier: Multiplier) -> str:
     table selects the error-correction kernel, a low-rank product LUT
     selects the fused per-code BLAS kernel, and unstructured full-rank
     tables (the compressor-tree circuit multipliers, Mitchell, noisy-LSB)
-    keep the reference gather loop, which measures faster than 2**bits
-    dense one-hot matmuls on a single core.
+    take the sparse one-hot kernel — a single int64 scipy.sparse product,
+    which replaces the fancy-indexed gather loop the legacy path used.
+    ``gather`` remains available by explicit request (and as the fallback
+    if scipy is ever absent).
     """
     if multiplier.is_exact():
         return "exact"
@@ -526,7 +684,7 @@ def select_strategy(multiplier: Multiplier) -> str:
         return "percode"
     if profile.error_active_codes.size <= _AUTO_ACTIVE_CODE_LIMIT:
         return "errorcorrection"
-    return "gather"
+    return "sparse" if _scipy_sparse is not None else "gather"
 
 
 def make_kernel(

@@ -14,6 +14,7 @@ characterised identically.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Dict, Optional, Tuple
 
@@ -27,6 +28,11 @@ from repro.errors import ConfigurationError
 #: every instance of the same multiplier, surviving per-instance
 #: ``clear_cache`` calls.
 _GLOBAL_LUT_CACHE: Dict[Tuple, np.ndarray] = {}
+
+#: serialises first-touch LUT construction: the parallel inference runtime
+#: shards batches across threads, and concurrent first touches of the same
+#: multiplier must yield one shared table, not racing duplicate builds
+_GLOBAL_LUT_LOCK = threading.Lock()
 
 
 def clear_global_lut_cache() -> None:
@@ -105,18 +111,21 @@ class Multiplier(ABC):
         ``a`` and ``b``.  Tables are shared process-wide between instances
         with the same :meth:`_lut_cache_key` and are therefore read-only;
         they survive per-instance :meth:`clear_cache` calls (use
-        :func:`clear_global_lut_cache` to force a rebuild).
+        :func:`clear_global_lut_cache` to force a rebuild).  First-touch
+        construction is serialised behind a lock, so concurrent calls from
+        inference worker threads all receive the same shared table.
         """
         if self._lut is None:
             key = self._lut_cache_key()
-            table = _GLOBAL_LUT_CACHE.get(key) if key is not None else None
-            if table is None:
-                n = 1 << self.bit_width
-                a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-                table = self.multiply(a, b).astype(np.int32)
-                table.setflags(write=False)
-                if key is not None:
-                    _GLOBAL_LUT_CACHE[key] = table
+            with _GLOBAL_LUT_LOCK:
+                table = _GLOBAL_LUT_CACHE.get(key) if key is not None else None
+                if table is None:
+                    n = 1 << self.bit_width
+                    a, b = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+                    table = self.multiply(a, b).astype(np.int32)
+                    table.setflags(write=False)
+                    if key is not None:
+                        _GLOBAL_LUT_CACHE[key] = table
             self._lut = table
         return self._lut
 

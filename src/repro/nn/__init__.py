@@ -32,6 +32,13 @@ from repro.nn.losses import CrossEntropyLoss, Loss, MeanSquaredError
 from repro.nn.metrics import accuracy, accuracy_percent, confusion_matrix, top_k_accuracy
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.runtime import (
+    available_workers,
+    batch_slices,
+    resolve_workers,
+    run_sharded,
+    validate_batch_size,
+)
 from repro.nn.serialization import load_weights, save_weights
 from repro.nn.trainer import Trainer, TrainingHistory
 
@@ -70,4 +77,9 @@ __all__ = [
     "top_k_accuracy",
     "save_weights",
     "load_weights",
+    "available_workers",
+    "batch_slices",
+    "resolve_workers",
+    "run_sharded",
+    "validate_batch_size",
 ]

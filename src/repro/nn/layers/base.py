@@ -9,13 +9,20 @@ call must always follow the forward call whose inputs it differentiates.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-#: when False, layers skip storing forward-pass caches (see no_grad_cache)
-_GRAD_CACHE_ENABLED = True
+#: per-thread grad-cache state (see no_grad_cache).  The flag is
+#: thread-local so concurrent no_grad_cache contexts in different threads
+#: cannot corrupt each other via interleaved save/restore of a shared flag.
+#: Note the flag is the only per-thread piece: the caches themselves are
+#: shared layer attributes, so gradient work and a sharded predict must not
+#: run concurrently on the same model instance (shards clear the backward
+#: caches as they traverse the layers).
+_GRAD_CACHE_STATE = threading.local()
 
 
 def grad_cache_enabled() -> bool:
@@ -24,9 +31,11 @@ def grad_cache_enabled() -> bool:
     Adversarial attacks differentiate the loss through an inference-mode
     forward pass, so caches are kept by default even when ``training`` is
     False.  Pure-inference paths (batched ``predict``) disable them via
-    :func:`no_grad_cache` so im2col buffers are not pinned per layer.
+    :func:`no_grad_cache` so im2col buffers are not pinned per layer.  The
+    state is per-thread: entering :func:`no_grad_cache` affects only the
+    calling thread's forward passes.
     """
-    return _GRAD_CACHE_ENABLED
+    return getattr(_GRAD_CACHE_STATE, "enabled", True)
 
 
 @contextmanager
@@ -35,15 +44,17 @@ def no_grad_cache() -> Iterator[None]:
 
     Inside the context, layers neither store nor keep forward-pass caches
     (a following ``backward`` call will fail); previously pinned buffers are
-    released as layers are traversed.
+    released as layers are traversed.  The context is thread-local: worker
+    threads must enter it themselves (the parallel runtime does so per
+    shard) and concurrent contexts in different threads cannot corrupt one
+    another's state.
     """
-    global _GRAD_CACHE_ENABLED
-    previous = _GRAD_CACHE_ENABLED
-    _GRAD_CACHE_ENABLED = False
+    previous = grad_cache_enabled()
+    _GRAD_CACHE_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_CACHE_ENABLED = previous
+        _GRAD_CACHE_STATE.enabled = previous
 
 
 class Layer:
@@ -92,7 +103,7 @@ class Layer:
         :func:`no_grad_cache`, where layers must not pin activation-sized
         buffers.
         """
-        return training or _GRAD_CACHE_ENABLED
+        return training or grad_cache_enabled()
 
     # ----------------------------------------------------------- utilities
     @property

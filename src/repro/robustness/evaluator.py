@@ -26,6 +26,7 @@ from repro.attacks.base import Attack
 from repro.errors import ConfigurationError
 from repro.nn.metrics import accuracy_percent
 from repro.nn.model import Sequential
+from repro.nn.runtime import WorkerSpec, call_with_workers
 
 
 @dataclass(frozen=True)
@@ -75,17 +76,24 @@ class AdversarialSuite:
             )
         return suite
 
-    def evaluate(self, victim, victim_name: str) -> List[RobustnessResult]:
+    def evaluate(
+        self, victim, victim_name: str, workers: WorkerSpec = None
+    ) -> List[RobustnessResult]:
         """Percentage robustness of a victim model for every budget.
 
         ``victim`` is any object exposing ``predict_classes(images)`` — both
         :class:`repro.nn.Sequential` (float models) and
-        :class:`repro.axnn.AxModel` qualify.
+        :class:`repro.axnn.AxModel` qualify.  ``workers`` shards the victim's
+        prediction batches across threads when the victim supports it
+        (results are invariant to the worker count); victims without a
+        ``workers`` parameter are called unchanged.
         """
         results = []
         for epsilon in self.epsilons:
             adversarial = self.adversarial[epsilon]
-            predictions = victim.predict_classes(adversarial)
+            predictions = call_with_workers(
+                victim.predict_classes, adversarial, workers=workers
+            )
             robustness = accuracy_percent(predictions, self.labels)
             results.append(
                 RobustnessResult(
@@ -107,10 +115,11 @@ def evaluate_robustness(
     labels: np.ndarray,
     epsilons: Sequence[float],
     victim_name: str = "victim",
+    workers: WorkerSpec = None,
 ) -> List[RobustnessResult]:
     """One-shot convenience wrapper: generate the suite and evaluate one victim."""
     suite = AdversarialSuite.generate(source_model, attack, images, labels, epsilons)
-    return suite.evaluate(victim, victim_name)
+    return suite.evaluate(victim, victim_name, workers=workers)
 
 
 def accuracy_loss(results: Sequence[RobustnessResult]) -> Dict[float, float]:

@@ -22,6 +22,7 @@ from repro.multipliers.library import ACCURATE_MULTIPLIER
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.dense import Dense
 from repro.nn.model import Sequential
+from repro.nn.runtime import WorkerSpec
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,7 @@ def layer_sensitivity_analysis(
     epsilon: float = 0.1,
     layers: Optional[Sequence[str]] = None,
     bits: int = 8,
+    workers: WorkerSpec = "auto",
 ) -> List[LayerSensitivity]:
     """Approximate one compute layer at a time and measure the impact.
 
@@ -80,6 +82,9 @@ def layer_sensitivity_analysis(
         accuracy is reported.
     layers:
         Subset of compute-layer names to analyse (default: all of them).
+    workers:
+        Worker-thread count for the per-victim accuracy evaluations
+        (``"auto"`` = one per core); results are invariant to it.
     """
     all_layers = compute_layer_names(model)
     if not all_layers:
@@ -110,9 +115,9 @@ def layer_sensitivity_analysis(
             per_layer_multipliers={layer_name: multiplier},
             name=f"ax_{model.name}_only_{layer_name}",
         )
-        clean = victim.accuracy_percent(images, labels)
+        clean = victim.accuracy_percent(images, labels, workers=workers)
         attacked = (
-            victim.accuracy_percent(adversarial, labels)
+            victim.accuracy_percent(adversarial, labels, workers=workers)
             if adversarial is not None
             else None
         )

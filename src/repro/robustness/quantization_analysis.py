@@ -16,6 +16,7 @@ import numpy as np
 from repro.attacks.base import Attack
 from repro.axnn.engine import AxModel, build_quantized_accurate
 from repro.nn.model import Sequential
+from repro.nn.runtime import WorkerSpec
 from repro.robustness.evaluator import AdversarialSuite
 
 
@@ -73,13 +74,14 @@ def compare_float_and_quantized(
     epsilons: Sequence[float],
     calibration_data: np.ndarray,
     quantized: AxModel = None,
+    workers: WorkerSpec = "auto",
 ) -> QuantizationComparison:
     """Robustness of the float model vs its 8-bit quantized version for one attack."""
     suite = AdversarialSuite.generate(model, attack, images, labels, epsilons)
     if quantized is None:
         quantized = build_quantized_accurate(model, calibration_data)
-    float_results = suite.evaluate(model, "float")
-    quant_results = suite.evaluate(quantized, "quantized")
+    float_results = suite.evaluate(model, "float", workers=workers)
+    quant_results = suite.evaluate(quantized, "quantized", workers=workers)
     return QuantizationComparison(
         attack_key=attack.key(),
         epsilons=list(suite.epsilons),
@@ -95,6 +97,7 @@ def quantization_study(
     labels: np.ndarray,
     epsilons: Sequence[float],
     calibration_data: np.ndarray,
+    workers: WorkerSpec = "auto",
 ) -> QuantizationStudy:
     """Run the full Fig. 8 comparison over a list of attacks."""
     study = QuantizationStudy()
@@ -102,7 +105,14 @@ def quantization_study(
     for attack in attacks:
         study.add(
             compare_float_and_quantized(
-                model, attack, images, labels, epsilons, calibration_data, quantized
+                model,
+                attack,
+                images,
+                labels,
+                epsilons,
+                calibration_data,
+                quantized,
+                workers=workers,
             )
         )
     return study

@@ -17,6 +17,7 @@ from repro.attacks.base import Attack
 from repro.axnn.engine import AxModel, build_axdnn
 from repro.errors import ConfigurationError
 from repro.nn.model import Sequential
+from repro.nn.runtime import WorkerSpec
 from repro.robustness.evaluator import AdversarialSuite
 
 
@@ -87,6 +88,7 @@ def build_victims(
     calibration_data: np.ndarray,
     bits: int = 8,
     convolution_only: bool = False,
+    kernel: str = "auto",
 ) -> Dict[str, AxModel]:
     """Build one AxDNN per multiplier label (M1..M9 / A1..A8 / library names)."""
     victims: Dict[str, AxModel] = {}
@@ -98,6 +100,7 @@ def build_victims(
             bits=bits,
             convolution_only=convolution_only,
             name=f"ax_{model.name}_{label}",
+            kernel=kernel,
         )
     return victims
 
@@ -110,12 +113,15 @@ def multiplier_sweep(
     labels: np.ndarray,
     epsilons: Sequence[float],
     dataset_name: str = "dataset",
+    workers: WorkerSpec = "auto",
 ) -> RobustnessGrid:
     """Robustness grid of every victim under one attack over a budget sweep.
 
     Adversarial examples are generated once on the source model and shared by
     all victims, exactly as in Algorithm 1 (the adversary never sees the
-    approximate inference engine).
+    approximate inference engine).  Victim evaluation shards prediction
+    batches across threads (``workers``, default one per core); the grid is
+    bit-identical for every worker count.
     """
     if not victims:
         raise ConfigurationError("at least one victim AxDNN is required")
@@ -123,7 +129,7 @@ def multiplier_sweep(
     victim_labels = list(victims)
     values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
     for column, label in enumerate(victim_labels):
-        results = suite.evaluate(victims[label], label)
+        results = suite.evaluate(victims[label], label, workers=workers)
         for row, result in enumerate(results):
             values[row, column] = result.robustness_percent
     return RobustnessGrid(
@@ -144,11 +150,19 @@ def attack_panel(
     labels: np.ndarray,
     epsilons: Sequence[float],
     dataset_name: str = "dataset",
+    workers: WorkerSpec = "auto",
 ) -> List[RobustnessGrid]:
     """One grid per attack — a full figure panel (e.g. Fig. 4a-d)."""
     return [
         multiplier_sweep(
-            source_model, victims, attack, images, labels, epsilons, dataset_name
+            source_model,
+            victims,
+            attack,
+            images,
+            labels,
+            epsilons,
+            dataset_name,
+            workers=workers,
         )
         for attack in attacks
     ]

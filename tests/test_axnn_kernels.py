@@ -22,6 +22,7 @@ from repro.axnn.kernels import (
     ExactBLASKernel,
     GatherKernel,
     PerCodeBLASKernel,
+    SparseOneHotKernel,
     integer_low_rank_factors,
     make_kernel,
     multiplier_kernel_profile,
@@ -29,7 +30,7 @@ from repro.axnn.kernels import (
     select_strategy,
 )
 from repro.errors import ConfigurationError, ShapeError
-from repro.multipliers import get_multiplier
+from repro.multipliers import get_multiplier, list_multipliers
 from repro.multipliers.base import clear_global_lut_cache, global_lut_cache_size
 from repro.multipliers.behavioral import (
     DrumMultiplier,
@@ -53,7 +54,7 @@ FAMILY_MULTIPLIERS = [
     NoisyLSBMultiplier("kernel-noisy", max_error=31),
 ]
 
-ALL_STRATEGIES = ["gather", "percode", "errorcorrection"]
+ALL_STRATEGIES = ["gather", "percode", "errorcorrection", "sparse"]
 
 
 def random_problem(rng, m=9, k=17, n=7):
@@ -133,6 +134,98 @@ def test_kernel_equivalence_property(data, m, k, n, mult_index, strategy):
     assert np.array_equal(kernel.matmul(codes), reference)
 
 
+#: registry labels spanning both figure sets, including every full-rank
+#: family (M6/M9/A4/A8 compressor trees) the sparse kernel exists for
+REGISTRY_LABELS = [f"M{i}" for i in range(1, 10)] + [f"A{i}" for i in range(2, 9)]
+
+
+class TestSparseOneHotKernel:
+    def test_stacked_path_description(self):
+        _, sign, mag = random_problem(np.random.default_rng(2))
+        kernel = make_kernel(get_multiplier("M6"), sign, mag, "sparse")
+        assert isinstance(kernel, SparseOneHotKernel)
+        assert "stacked" in kernel.describe()
+
+    def test_grouped_path_bit_identical(self, monkeypatch):
+        """Over-budget shapes chunk over present codes, still bit-identical.
+
+        The batch is larger than ``2 * 2**bits`` rows so the call takes the
+        real grouped-rebuild path rather than the small-batch gather
+        fallback.
+        """
+        import repro.axnn.kernels as kernels_module
+
+        codes, sign, mag = random_problem(np.random.default_rng(23), m=530, k=9, n=4)
+        multiplier = get_multiplier("M9")
+        reference = approx_matmul(codes, sign, mag, multiplier.lut())
+        monkeypatch.setattr(
+            kernels_module, "_SPARSE_STACK_BUDGET_BYTES", 9 * 4 * 4 * 10
+        )
+        kernel = make_kernel(multiplier, sign, mag, "sparse")
+        assert "grouped" in kernel.describe()
+        assert codes.shape[0] >= 2 * kernel.codes_total
+        assert np.array_equal(kernel.matmul(codes), reference)
+
+    def test_small_batch_fallback_bit_identical(self, monkeypatch):
+        """Below the amortisation point, over-budget shapes stay bit-identical."""
+        import repro.axnn.kernels as kernels_module
+
+        codes, sign, mag = random_problem(np.random.default_rng(29), m=7, k=9, n=4)
+        multiplier = get_multiplier("M9")
+        reference = approx_matmul(codes, sign, mag, multiplier.lut())
+        monkeypatch.setattr(
+            kernels_module, "_SPARSE_STACK_BUDGET_BYTES", 9 * 4 * 4 * 10
+        )
+        kernel = make_kernel(multiplier, sign, mag, "sparse")
+        assert np.array_equal(kernel.matmul(codes), reference)
+
+    def test_result_dtype_is_int64(self):
+        codes, sign, mag = random_problem(np.random.default_rng(3))
+        kernel = make_kernel(get_multiplier("A4"), sign, mag, "sparse")
+        assert kernel.matmul(codes).dtype == np.int64
+
+    def test_rejects_out_of_range_codes(self):
+        codes, sign, mag = random_problem(np.random.default_rng(5))
+        kernel = make_kernel(get_multiplier("M6"), sign, mag, "sparse")
+        with pytest.raises(ConfigurationError):
+            kernel.matmul(codes + 256)
+        with pytest.raises(ConfigurationError):
+            kernel.matmul(codes - 300)
+
+    def test_single_row_single_column(self):
+        """The degenerate 1x1 weight shape stays bit-identical."""
+        multiplier = get_multiplier("M6")
+        codes = np.array([[255]])
+        sign = np.array([[-1]])
+        mag = np.array([[255]])
+        kernel = make_kernel(multiplier, sign, mag, "sparse")
+        expected = approx_matmul(codes, sign, mag, multiplier.lut())
+        assert np.array_equal(kernel.matmul(codes), expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    m=st.integers(1, 7),
+    k=st.integers(1, 13),
+    n=st.integers(1, 5),
+    label=st.sampled_from(REGISTRY_LABELS),
+)
+def test_sparse_bit_identity_property_registry(data, m, k, n, label):
+    """Property: sparse == gather for every registry multiplier, odd shapes."""
+    codes = np.array(
+        data.draw(st.lists(st.integers(0, 255), min_size=m * k, max_size=m * k))
+    ).reshape(m, k)
+    weights = np.array(
+        data.draw(st.lists(st.integers(-255, 255), min_size=k * n, max_size=k * n))
+    ).reshape(k, n)
+    sign, mag = np.sign(weights), np.abs(weights)
+    multiplier = get_multiplier(label)
+    reference = approx_matmul(codes, sign, mag, multiplier.lut())
+    kernel = make_kernel(multiplier, sign, mag, "sparse")
+    assert np.array_equal(kernel.matmul(codes), reference)
+
+
 class TestIntegerLowRankFactors:
     def test_zero_table_has_rank_zero(self):
         factors = integer_low_rank_factors(np.zeros((8, 8), dtype=np.int64))
@@ -182,14 +275,26 @@ class TestStrategySelection:
         assert isinstance(kernel, PerCodeBLASKernel)
         assert "low-rank" in kernel.describe()
 
-    def test_unstructured_lut_keeps_gather(self):
-        # compressor-tree circuits and the noisy-LSB family are full rank
-        assert select_strategy(get_multiplier("M6")) == "gather"
-        assert select_strategy(get_multiplier("mul8s_L1G")) == "gather"
+    def test_unstructured_lut_selects_sparse(self):
+        # compressor-tree circuits and the noisy-LSB family are full rank:
+        # no factorisation exists, so the sparse one-hot kernel takes over
+        # from the legacy gather loop
+        assert select_strategy(get_multiplier("M6")) == "sparse"
+        assert select_strategy(get_multiplier("mul8s_L1G")) == "sparse"
+
+    def test_every_registry_multiplier_leaves_the_gather_path(self):
+        # the acceptance criterion for the sparse kernel: under "auto", no
+        # registry multiplier is left on the reference gather loop
+        for name in list_multipliers():
+            strategy = select_strategy(get_multiplier(name))
+            assert strategy != "gather", name
+            assert strategy in KERNEL_STRATEGIES, name
 
     def test_strategy_aliases(self):
         assert normalize_strategy("per-code-BLAS") == "percode"
         assert normalize_strategy("error-correction") == "errorcorrection"
+        assert normalize_strategy("sparse-one-hot") == "sparse"
+        assert normalize_strategy("one_hot") == "sparse"
         with pytest.raises(ConfigurationError):
             normalize_strategy("definitely-not-a-kernel")
 
@@ -228,7 +333,7 @@ class TestEngineKernelSelection:
         reference = build_axdnn(
             tiny_cnn, "M4", calibration_batch, kernel="gather"
         ).predict(x)
-        for strategy in ["percode", "errorcorrection", "auto"]:
+        for strategy in ["percode", "errorcorrection", "sparse", "auto"]:
             ax = build_axdnn(tiny_cnn, "M4", calibration_batch, kernel=strategy)
             assert np.array_equal(ax.predict(x), reference), strategy
 
@@ -260,6 +365,11 @@ class TestEngineKernelSelection:
         assert all(
             isinstance(layer.kernel, ExactBLASKernel)
             for layer in exact_model.compute_layers()
+        )
+        sparse_model = build_axdnn(tiny_cnn, "M6", calibration_batch, kernel="auto")
+        assert all(
+            isinstance(layer.kernel, SparseOneHotKernel)
+            for layer in sparse_model.compute_layers()
         )
 
 

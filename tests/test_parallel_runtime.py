@@ -1,0 +1,294 @@
+"""Tests for the parallel inference runtime (repro.nn.runtime).
+
+Sharded prediction must be a pure throughput feature: logits, robustness
+grids and accuracy numbers are bit-identical for every worker count, the
+remainder batch is handled, inputs are validated, and the process-wide LUT
+cache survives concurrent first-touch builds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.attacks import get_attack
+from repro.axnn import build_axdnn
+from repro.errors import ConfigurationError
+from repro.multipliers.base import clear_global_lut_cache, global_lut_cache_size
+from repro.multipliers.behavioral import NoisyLSBMultiplier, OperandTruncationMultiplier
+from repro.nn.runtime import (
+    available_workers,
+    batch_slices,
+    call_with_workers,
+    resolve_workers,
+    run_sharded,
+    validate_batch_size,
+)
+from repro.robustness import AdversarialSuite, multiplier_sweep
+
+
+class TestResolveWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEFAULT_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFAULT_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_DEFAULT_WORKERS", "auto")
+        assert resolve_workers(None) == available_workers()
+
+    def test_auto_resolves_to_core_count(self):
+        assert resolve_workers("auto") == available_workers()
+        assert resolve_workers("auto") >= 1
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    @pytest.mark.parametrize("bad", [0, -2, "many", 2.5, True])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad)
+
+
+class TestBatchSlices:
+    def test_remainder_batch_is_covered(self):
+        slices = batch_slices(13, 5)
+        assert slices == [slice(0, 5), slice(5, 10), slice(10, 13)]
+
+    def test_empty_input_yields_no_slices(self):
+        assert batch_slices(0, 8) == []
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "8"])
+    def test_invalid_batch_size_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_batch_size(bad)
+
+    def test_numpy_integer_batch_size_accepted(self):
+        assert validate_batch_size(np.int64(7)) == 7
+
+
+class TestRunSharded:
+    def test_preserves_input_order(self):
+        x = np.arange(23, dtype=np.float64)[:, None]
+        serial = run_sharded(lambda b: b * 2.0, x, batch_size=4, workers=1)
+        sharded = run_sharded(lambda b: b * 2.0, x, batch_size=4, workers=4)
+        assert np.array_equal(serial, x * 2.0)
+        assert np.array_equal(sharded, serial)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(lambda b: b, np.zeros((0, 3)), batch_size=4)
+
+    def test_worker_exception_propagates(self):
+        def boom(batch):
+            raise RuntimeError("shard failed")
+
+        with pytest.raises(RuntimeError, match="shard failed"):
+            run_sharded(boom, np.ones((8, 2)), batch_size=2, workers=3)
+
+    def test_call_with_workers_drops_kwarg_for_plain_callables(self):
+        def no_workers_method(images):
+            return images.sum()
+
+        assert call_with_workers(no_workers_method, np.ones(3), workers=4) == 3.0
+
+    def test_call_with_workers_forwards_when_supported(self):
+        seen = {}
+
+        def method(images, workers=None):
+            seen["workers"] = workers
+            return images
+
+        call_with_workers(method, np.ones(3), workers=4)
+        assert seen["workers"] == 4
+
+    def test_call_with_workers_forwards_explicit_serial(self, monkeypatch):
+        """An explicit workers=1 must override REPRO_DEFAULT_WORKERS."""
+        monkeypatch.setenv("REPRO_DEFAULT_WORKERS", "2")
+        seen = {}
+
+        def method(images, workers=None):
+            seen["workers"] = workers
+            return images
+
+        call_with_workers(method, np.ones(3), workers=1)
+        assert seen["workers"] == 1
+
+
+class TestPredictWorkers:
+    def test_axmodel_logits_invariant_to_workers(self, approx_tiny_m8, mnist_small):
+        x = mnist_small.test.images[:13]  # 13 % 5 != 0: remainder batch
+        serial = approx_tiny_m8.predict(x, batch_size=5, workers=1)
+        for workers in [2, 4, "auto"]:
+            sharded = approx_tiny_m8.predict(x, batch_size=5, workers=workers)
+            assert np.array_equal(sharded, serial), workers
+
+    def test_sequential_logits_invariant_to_workers(self, tiny_cnn, mnist_small):
+        x = mnist_small.test.images[:11]
+        serial = tiny_cnn.predict(x, batch_size=4, workers=1)
+        sharded = tiny_cnn.predict(x, batch_size=4, workers=4)
+        assert np.array_equal(sharded, serial)
+
+    def test_sparse_kernel_model_parallel_predict(self, tiny_cnn, calibration_batch, mnist_small):
+        """The sparse kernel (full-rank M6) is thread-safe under sharding."""
+        ax = build_axdnn(tiny_cnn, "M6", calibration_batch, kernel="sparse")
+        x = mnist_small.test.images[:10]
+        assert np.array_equal(
+            ax.predict(x, batch_size=3, workers=4),
+            ax.predict(x, batch_size=3, workers=1),
+        )
+
+    def test_predict_classes_and_accuracy_accept_workers(
+        self, approx_tiny_m8, mnist_small
+    ):
+        x = mnist_small.test.images[:9]
+        y = mnist_small.test.labels[:9]
+        assert np.array_equal(
+            approx_tiny_m8.predict_classes(x, workers=2),
+            approx_tiny_m8.predict_classes(x, workers=1),
+        )
+        assert approx_tiny_m8.accuracy_percent(x, y, workers=2) == pytest.approx(
+            approx_tiny_m8.accuracy_percent(x, y, workers=1)
+        )
+
+    def test_empty_input_returns_wellformed_logits(self, approx_tiny_m8, tiny_cnn):
+        empty = np.zeros((0, 28, 28, 1))
+        ax_logits = approx_tiny_m8.predict(empty)
+        assert ax_logits.shape == (0, 10)
+        assert approx_tiny_m8.predict_classes(empty).shape == (0,)
+        float_logits = tiny_cnn.predict(empty)
+        assert float_logits.shape == (0, 10)
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5])
+    def test_batch_size_validated(self, bad, approx_tiny_m8, tiny_cnn, mnist_small):
+        x = mnist_small.test.images[:4]
+        with pytest.raises(ConfigurationError):
+            approx_tiny_m8.predict(x, batch_size=bad)
+        with pytest.raises(ConfigurationError):
+            tiny_cnn.predict(x, batch_size=bad)
+
+    def test_invalid_workers_rejected_by_predict(self, approx_tiny_m8, mnist_small):
+        with pytest.raises(ConfigurationError):
+            approx_tiny_m8.predict(mnist_small.test.images[:4], workers=0)
+
+
+class TestSweepWorkerInvariance:
+    def test_suite_evaluation_invariant_to_workers(
+        self, tiny_cnn, approx_tiny_m8, mnist_small
+    ):
+        x = mnist_small.test.images[:12]
+        y = mnist_small.test.labels[:12]
+        suite = AdversarialSuite.generate(
+            tiny_cnn, get_attack("FGM_linf"), x, y, [0.0, 0.1]
+        )
+        serial = suite.evaluate(approx_tiny_m8, "M8", workers=1)
+        sharded = suite.evaluate(approx_tiny_m8, "M8", workers=3)
+        assert [r.robustness_percent for r in serial] == [
+            r.robustness_percent for r in sharded
+        ]
+
+    def test_multiplier_sweep_invariant_to_workers(
+        self, tiny_cnn, approx_tiny_m8, quantized_tiny, mnist_small
+    ):
+        x = mnist_small.test.images[:10]
+        y = mnist_small.test.labels[:10]
+        victims = {"M1": quantized_tiny, "M8": approx_tiny_m8}
+        grids = [
+            multiplier_sweep(
+                tiny_cnn,
+                victims,
+                get_attack("FGM_linf"),
+                x,
+                y,
+                [0.0, 0.1],
+                "synthetic-mnist",
+                workers=workers,
+            )
+            for workers in [1, 4]
+        ]
+        assert np.array_equal(grids[0].values, grids[1].values)
+
+    def test_float_victims_accept_workers(self, tiny_cnn, mnist_small):
+        x = mnist_small.test.images[:8]
+        y = mnist_small.test.labels[:8]
+        suite = AdversarialSuite.generate(
+            tiny_cnn, get_attack("FGM_linf"), x, y, [0.1]
+        )
+        serial = suite.evaluate(tiny_cnn, "float", workers=1)
+        sharded = suite.evaluate(tiny_cnn, "float", workers=2)
+        assert serial[0].robustness_percent == sharded[0].robustness_percent
+
+
+class TestConcurrentCacheSafety:
+    def test_lut_first_touch_is_single_build(self):
+        """N threads first-touching the same LUT share one cached table."""
+        clear_global_lut_cache()
+        size_before = global_lut_cache_size()
+        barrier = threading.Barrier(6)
+        tables = [None] * 6
+
+        def first_touch(i):
+            multiplier = OperandTruncationMultiplier("concurrent-lut", 2, 2)
+            barrier.wait()
+            tables[i] = multiplier.lut()
+
+        threads = [threading.Thread(target=first_touch, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert global_lut_cache_size() == size_before + 1
+        assert all(t is tables[0] for t in tables)
+
+    def test_grad_cache_flag_survives_concurrent_predicts(self, tiny_cnn, mnist_small):
+        """Interleaved no_grad_cache exits across threads must not stick.
+
+        Regression test: with a shared save/restore flag, two overlapping
+        predict calls in different threads could leave grad caching disabled
+        forever, breaking every later attack gradient.  The flag is
+        thread-local now.
+        """
+        from repro.nn.layers.base import grad_cache_enabled
+
+        x = mnist_small.test.images[:8]
+        y = mnist_small.test.labels[:8]
+        threads = [
+            threading.Thread(
+                target=lambda: tiny_cnn.predict(x, batch_size=2, workers=2)
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert grad_cache_enabled()
+        gradient = tiny_cnn.input_gradient(x, y)
+        assert gradient.shape == x.shape
+        assert np.any(gradient != 0)
+
+    def test_concurrent_kernel_first_touch_builds_identical_models(
+        self, tiny_cnn, calibration_batch, mnist_small
+    ):
+        """Concurrent build + predict on a fresh full-rank multiplier agree."""
+        multiplier = NoisyLSBMultiplier("concurrent-kernel", max_error=17)
+        x = mnist_small.test.images[:6]
+        barrier = threading.Barrier(3)
+        logits = [None] * 3
+
+        def build_and_predict(i):
+            barrier.wait()
+            ax = build_axdnn(tiny_cnn, multiplier, calibration_batch, kernel="auto")
+            logits[i] = ax.predict(x, batch_size=2)
+
+        threads = [
+            threading.Thread(target=build_and_predict, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.array_equal(logits[0], logits[1])
+        assert np.array_equal(logits[0], logits[2])
