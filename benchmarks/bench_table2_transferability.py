@@ -10,7 +10,7 @@ import os
 
 import pytest
 
-from benchmarks.conftest import N_EPOCHS, N_TRAIN, save_payload
+from benchmarks.conftest import BENCH_WORKERS, N_EPOCHS, N_TRAIN, save_payload
 from repro.analysis import TABLE2_TRANSFERABILITY, format_transfer_table
 from repro.attacks import get_attack
 from repro.models import trained_model
@@ -44,7 +44,14 @@ def _dataset_study(dataset_name, n_samples):
         ],
     }
     return transferability_analysis(
-        sources, victims, get_attack("BIM_linf"), x, y, EPSILON, dataset_name
+        sources,
+        victims,
+        get_attack("BIM_linf"),
+        x,
+        y,
+        EPSILON,
+        dataset_name,
+        workers=BENCH_WORKERS,
     )
 
 

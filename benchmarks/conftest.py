@@ -16,8 +16,12 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_EPOCHS``
     Training epochs for the accurate models (default 4).
 ``REPRO_BENCH_WORKERS``
-    Worker threads for victim evaluation in the figure sweeps (default
-    ``auto`` = one per core; results are invariant to this knob).
+    Worker count for the figure sweeps (default ``auto`` = one per core;
+    results are invariant to this knob).  Victim evaluation shards
+    prediction batches across that many threads; adversarial-example
+    generation shards the crafting batch across that many *processes*
+    (see ``repro.attacks.engine``; override the backend with
+    ``REPRO_ATTACK_BACKEND=serial``).
 
 The measured grids are also written as JSON to ``benchmarks/results/`` so the
 paper-vs-measured record in EXPERIMENTS.md can be regenerated.

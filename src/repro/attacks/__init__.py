@@ -4,6 +4,11 @@ Implements the ten attacks of the paper's Table I: FGM, BIM and PGD in their
 l2 and linf variants (gradient attacks), plus Contrast Reduction, Repeated
 Additive Gaussian noise and Repeated Additive Uniform noise (decision
 attacks), together with the l0/l2/linf distance metrics.
+
+Attacks are declarative step/init descriptions driven by the unified
+batched runtime in :mod:`repro.attacks.engine`, which amortises epsilon
+sweeps (``generate_sweep``) and shards crafting batches over worker
+processes — bit-identically for every worker count.
 """
 
 from repro.attacks.base import (
@@ -12,7 +17,14 @@ from repro.attacks.base import (
     PIXEL_MAX,
     PIXEL_MIN,
     Attack,
+    AttackContext,
     AttackMetadata,
+    AttackState,
+)
+from repro.attacks.engine import (
+    DEFAULT_SHARD_SIZE,
+    AttackEngine,
+    resolve_backend,
 )
 from repro.attacks.bim import BIML2, BIMLinf
 from repro.attacks.contrast import ContrastReductionL2
@@ -51,7 +63,12 @@ from repro.attacks.registry import (
 
 __all__ = [
     "Attack",
+    "AttackContext",
+    "AttackEngine",
     "AttackMetadata",
+    "AttackState",
+    "DEFAULT_SHARD_SIZE",
+    "resolve_backend",
     "GRADIENT",
     "DECISION",
     "PIXEL_MIN",

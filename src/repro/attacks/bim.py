@@ -1,4 +1,9 @@
-"""Basic Iterative Method (BIM), the iterative extension of FGM."""
+"""Basic Iterative Method (BIM), the iterative extension of FGM.
+
+Every budget starts its trajectory at the clean images, so the first step's
+gradient is shared across a sweep (``prepare``); trajectories diverge from
+step two onwards and are advanced per budget.
+"""
 
 from __future__ import annotations
 
@@ -9,61 +14,68 @@ from repro.attacks.distances import normalize_l2, project_l2_ball, project_linf_
 from repro.errors import ConfigurationError
 
 
-class BIMLinf(Attack):
+class _BIM(Attack):
+    """Shared iterative-FGM machinery; subclasses supply the norm geometry."""
+
+    attack_type = GRADIENT
+
+    def __init__(self, steps: int = 10, step_size_factor: float = 0.2) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        if step_size_factor <= 0:
+            raise ConfigurationError(
+                f"step_size_factor must be positive, got {step_size_factor}"
+            )
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+
+    def num_steps(self):
+        return self.steps
+
+    def prepare(self, ctx):
+        # the first step is taken at the clean images for every budget, so
+        # its gradient is computed once and shared across the sweep
+        return ctx.gradient(ctx.images)
+
+    def _direction(self, gradient):
+        raise NotImplementedError
+
+    def _project(self, perturbation, epsilon):
+        raise NotImplementedError
+
+    def perturb(self, ctx, state, prep, payload):
+        gradient = prep if state.step == 0 else ctx.gradient(state.adversarial)
+        step_size = state.epsilon * self.step_size_factor
+        adversarial = state.adversarial + step_size * self._direction(gradient)
+        perturbation = self._project(adversarial - ctx.images, state.epsilon)
+        state.adversarial = np.clip(ctx.images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return state
+
+
+class BIMLinf(_BIM):
     """Iterative linf FGM with projection onto the eps-ball after every step."""
 
     name = "Basic Iterative Method"
     short_name = "BIM"
-    attack_type = GRADIENT
     norm = "linf"
 
-    def __init__(self, steps: int = 10, step_size_factor: float = 0.2) -> None:
-        super().__init__()
-        if steps <= 0:
-            raise ConfigurationError(f"steps must be positive, got {steps}")
-        if step_size_factor <= 0:
-            raise ConfigurationError(
-                f"step_size_factor must be positive, got {step_size_factor}"
-            )
-        self.steps = steps
-        self.step_size_factor = step_size_factor
+    def _direction(self, gradient):
+        return np.sign(gradient)
 
-    def _run(self, model, images, labels, epsilon):
-        step_size = epsilon * self.step_size_factor
-        adversarial = images.copy()
-        for _ in range(self.steps):
-            gradient = self._gradient(model, adversarial, labels)
-            adversarial = adversarial + step_size * np.sign(gradient)
-            perturbation = project_linf_ball(adversarial - images, epsilon)
-            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
-        return adversarial
+    def _project(self, perturbation, epsilon):
+        return project_linf_ball(perturbation, epsilon)
 
 
-class BIML2(Attack):
+class BIML2(_BIM):
     """Iterative l2 FGM with projection onto the l2 eps-ball after every step."""
 
     name = "Basic Iterative Method"
     short_name = "BIM"
-    attack_type = GRADIENT
     norm = "l2"
 
-    def __init__(self, steps: int = 10, step_size_factor: float = 0.2) -> None:
-        super().__init__()
-        if steps <= 0:
-            raise ConfigurationError(f"steps must be positive, got {steps}")
-        if step_size_factor <= 0:
-            raise ConfigurationError(
-                f"step_size_factor must be positive, got {step_size_factor}"
-            )
-        self.steps = steps
-        self.step_size_factor = step_size_factor
+    def _direction(self, gradient):
+        return normalize_l2(gradient)
 
-    def _run(self, model, images, labels, epsilon):
-        step_size = epsilon * self.step_size_factor
-        adversarial = images.copy()
-        for _ in range(self.steps):
-            gradient = self._gradient(model, adversarial, labels)
-            adversarial = adversarial + step_size * normalize_l2(gradient)
-            perturbation = project_l2_ball(adversarial - images, epsilon)
-            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
-        return adversarial
+    def _project(self, perturbation, epsilon):
+        return project_l2_ball(perturbation, epsilon)

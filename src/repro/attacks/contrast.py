@@ -4,7 +4,8 @@ Follows Foolbox's ``L2ContrastReductionAttack``: the perturbation direction is
 towards the zero-contrast image (every pixel at the mid-level ``target``),
 scaled so that its l2 norm equals the budget.  No gradients or model queries
 are needed to construct the perturbation, which is why the paper classifies
-it as a decision attack.
+it as a decision attack.  The direction is computed once per crafting call
+(``prepare``) and shared by every budget of a sweep.
 """
 
 from __future__ import annotations
@@ -30,10 +31,15 @@ class ContrastReductionL2(Attack):
             raise ConfigurationError(f"target must be in [0, 1], got {target}")
         self.target = target
 
-    def _run(self, model, images, labels, epsilon):
-        direction = self.target - images
+    def prepare(self, ctx):
+        direction = self.target - ctx.images
         norms = batch_l2_norm(direction)
         unit = direction / np.maximum(norms, 1e-12)
+        return unit, norms
+
+    def perturb(self, ctx, state, prep, payload):
+        unit, norms = prep
         # never overshoot the zero-contrast image itself
-        step = np.minimum(epsilon, norms)
-        return images + step * unit
+        step = np.minimum(state.epsilon, norms)
+        state.adversarial = ctx.images + step * unit
+        return state

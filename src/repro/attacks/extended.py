@@ -12,6 +12,10 @@ figure-reproduction benchmarks remain faithful):
 * DeepFool (gradient, l2) — a minimal-perturbation attack run in a
   budget-bounded mode: the DeepFool direction is computed and then scaled to
   the requested l2 budget.
+
+Like the registry attacks, they are declarative: random draws and
+perturbation directions live in ``prepare`` (epsilon-independent, shared
+across an epsilon sweep), and the budget is applied in ``perturb``.
 """
 
 from __future__ import annotations
@@ -39,15 +43,24 @@ class SaltAndPepperNoise(Attack):
                 f"max_fraction must be in (0, 1], got {max_fraction}"
             )
         self.max_fraction = max_fraction
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
-    def _run(self, model, images, labels, epsilon):
+    def prepare(self, ctx):
+        # one pair of uniform fields shared by every budget: thresholding the
+        # first at the budget's flip fraction nests small-budget masks inside
+        # large-budget ones
+        return ctx.rng.random(ctx.images.shape), ctx.rng.random(ctx.images.shape)
+
+    def perturb(self, ctx, state, prep, payload):
+        mask_field, salt_field = prep
         # epsilon in [0, 2] is mapped onto a pixel-flip fraction
-        fraction = min(self.max_fraction, epsilon / 2.0 * self.max_fraction)
-        mask = self._rng.random(images.shape) < fraction
-        salt = self._rng.random(images.shape) < 0.5
-        noisy = np.where(mask, np.where(salt, PIXEL_MAX, PIXEL_MIN), images)
-        return noisy
+        fraction = min(self.max_fraction, state.epsilon / 2.0 * self.max_fraction)
+        mask = mask_field < fraction
+        salt = salt_field < 0.5
+        state.adversarial = np.where(
+            mask, np.where(salt, PIXEL_MAX, PIXEL_MIN), ctx.images
+        )
+        return state
 
 
 class AdditiveGaussianL2(Attack):
@@ -60,11 +73,14 @@ class AdditiveGaussianL2(Attack):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
-    def _run(self, model, images, labels, epsilon):
-        noise = self._rng.normal(size=images.shape)
-        return images + epsilon * normalize_l2(noise)
+    def prepare(self, ctx):
+        return normalize_l2(ctx.rng.normal(size=ctx.images.shape))
+
+    def perturb(self, ctx, state, prep, payload):
+        state.adversarial = ctx.images + state.epsilon * prep
+        return state
 
 
 class BlendedUniformNoiseL2(Attack):
@@ -77,15 +93,20 @@ class BlendedUniformNoiseL2(Attack):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
-    def _run(self, model, images, labels, epsilon):
-        target = self._rng.random(images.shape)
-        direction = target - images
+    def prepare(self, ctx):
+        target = ctx.rng.random(ctx.images.shape)
+        direction = target - ctx.images
         norms = batch_l2_norm(direction)
         unit = direction / np.maximum(norms, 1e-12)
-        step = np.minimum(epsilon, norms)
-        return images + step * unit
+        return unit, norms
+
+    def perturb(self, ctx, state, prep, payload):
+        unit, norms = prep
+        step = np.minimum(state.epsilon, norms)
+        state.adversarial = ctx.images + step * unit
+        return state
 
 
 class DeepFoolL2(Attack):
@@ -109,6 +130,9 @@ class DeepFoolL2(Attack):
         self.steps = steps
         self.overshoot = overshoot
 
+    def num_steps(self):
+        return self.steps
+
     def _class_gradient(self, model, images, class_index):
         """Gradient of the given class logit summed over the batch."""
         logits = model.forward(images, training=False)
@@ -116,41 +140,43 @@ class DeepFoolL2(Attack):
         grad_logits[np.arange(images.shape[0]), class_index] = 1.0
         return model.backward(grad_logits)
 
-    def _run(self, model, images, labels, epsilon):
-        adversarial = images.copy()
+    def perturb(self, ctx, state, prep, payload):
+        model, images, labels = ctx.model, ctx.images, ctx.labels
+        adversarial = state.adversarial
         batch = images.shape[0]
-        for _ in range(self.steps):
-            logits = model.forward(adversarial, training=False)
-            predictions = np.argmax(logits, axis=1)
-            still_correct = predictions == labels
-            if not np.any(still_correct):
-                break
-            probabilities = softmax(logits)
-            # runner-up class per sample (most likely wrong class)
-            masked = probabilities.copy()
-            masked[np.arange(batch), labels] = -np.inf
-            runner_up = np.argmax(masked, axis=1)
-            grad_true = self._class_gradient(model, adversarial, labels)
-            grad_other = self._class_gradient(model, adversarial, runner_up)
-            direction = grad_other - grad_true
-            logit_gap = (
-                logits[np.arange(batch), labels]
-                - logits[np.arange(batch), runner_up]
-            )
-            norms = batch_l2_norm(direction).reshape(batch)
-            scale = (np.abs(logit_gap) + 1e-6) / np.maximum(norms ** 2, 1e-12)
-            step = (1.0 + self.overshoot) * scale.reshape(
-                (-1,) + (1,) * (images.ndim - 1)
-            ) * direction
-            # only move samples that are still classified correctly
-            move_mask = still_correct.reshape((-1,) + (1,) * (images.ndim - 1))
-            adversarial = adversarial + np.where(move_mask, step, 0.0)
-            # keep the accumulated perturbation inside the l2 budget
-            perturbation = adversarial - images
-            norms_total = batch_l2_norm(perturbation)
-            factor = np.minimum(1.0, epsilon / np.maximum(norms_total, 1e-12))
-            adversarial = np.clip(images + perturbation * factor, PIXEL_MIN, PIXEL_MAX)
-        return adversarial
+        logits = model.forward(adversarial, training=False)
+        predictions = np.argmax(logits, axis=1)
+        still_correct = predictions == labels
+        if not np.any(still_correct):
+            state.done = True
+            return state
+        probabilities = softmax(logits)
+        # runner-up class per sample (most likely wrong class)
+        masked = probabilities.copy()
+        masked[np.arange(batch), labels] = -np.inf
+        runner_up = np.argmax(masked, axis=1)
+        grad_true = self._class_gradient(model, adversarial, labels)
+        grad_other = self._class_gradient(model, adversarial, runner_up)
+        direction = grad_other - grad_true
+        logit_gap = (
+            logits[np.arange(batch), labels] - logits[np.arange(batch), runner_up]
+        )
+        norms = batch_l2_norm(direction).reshape(batch)
+        scale = (np.abs(logit_gap) + 1e-6) / np.maximum(norms ** 2, 1e-12)
+        step = (1.0 + self.overshoot) * scale.reshape(
+            (-1,) + (1,) * (images.ndim - 1)
+        ) * direction
+        # only move samples that are still classified correctly
+        move_mask = still_correct.reshape((-1,) + (1,) * (images.ndim - 1))
+        adversarial = adversarial + np.where(move_mask, step, 0.0)
+        # keep the accumulated perturbation inside the l2 budget
+        perturbation = adversarial - images
+        norms_total = batch_l2_norm(perturbation)
+        factor = np.minimum(1.0, state.epsilon / np.maximum(norms_total, 1e-12))
+        state.adversarial = np.clip(
+            images + perturbation * factor, PIXEL_MIN, PIXEL_MAX
+        )
+        return state
 
 
 #: registry of the extension attacks (kept separate from the paper's Table I)

@@ -1,4 +1,9 @@
-"""Fast Gradient Method (FGM / FGSM)."""
+"""Fast Gradient Method (FGM / FGSM).
+
+Single-gradient attacks: ``prepare`` evaluates the input gradient at the
+clean images once, and every budget of a sweep scales that same gradient —
+an epsilon sweep over the FGM family costs exactly one gradient evaluation.
+"""
 
 from __future__ import annotations
 
@@ -16,9 +21,12 @@ class FGMLinf(Attack):
     attack_type = GRADIENT
     norm = "linf"
 
-    def _run(self, model, images, labels, epsilon):
-        gradient = self._gradient(model, images, labels)
-        return images + epsilon * np.sign(gradient)
+    def prepare(self, ctx):
+        return ctx.gradient(ctx.images)
+
+    def perturb(self, ctx, state, prep, payload):
+        state.adversarial = ctx.images + state.epsilon * np.sign(prep)
+        return state
 
 
 class FGML2(Attack):
@@ -29,6 +37,9 @@ class FGML2(Attack):
     attack_type = GRADIENT
     norm = "l2"
 
-    def _run(self, model, images, labels, epsilon):
-        gradient = self._gradient(model, images, labels)
-        return images + epsilon * normalize_l2(gradient)
+    def prepare(self, ctx):
+        return normalize_l2(ctx.gradient(ctx.images))
+
+    def perturb(self, ctx, state, prep, payload):
+        state.adversarial = ctx.images + state.epsilon * prep
+        return state

@@ -5,13 +5,18 @@ the requested norm and budget, query the source model after each, and keep
 the first sample that is misclassified (falling back to the last drawn sample
 when none fools the source model).  The paper uses the Gaussian l2 variant
 (RAG) and the uniform l2/linf variants (RAU).
+
+Each repeat's noise is drawn at *unit* scale in ``step_payload`` — once per
+repeat, shared by every budget of a sweep — and scaled by the budget inside
+``perturb``.  A budget marks itself done as soon as every sample fools the
+source model, so later repeats skip both the draw and the model query.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import DECISION, PIXEL_MAX, PIXEL_MIN, Attack
+from repro.attacks.base import DECISION, PIXEL_MAX, PIXEL_MIN, Attack, AttackState
 from repro.attacks.distances import normalize_l2
 from repro.errors import ConfigurationError
 
@@ -26,29 +31,40 @@ class _RepeatedAdditiveNoise(Attack):
         if repeats <= 0:
             raise ConfigurationError(f"repeats must be positive, got {repeats}")
         self.repeats = repeats
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
-    def _sample_noise(self, shape: tuple, epsilon: float) -> np.ndarray:
+    def _sample_unit(self, rng: np.random.Generator, shape: tuple) -> np.ndarray:
+        """One unit-scale noise draw (scaled by the budget in ``perturb``)."""
         raise NotImplementedError
 
-    def _run(self, model, images, labels, epsilon):
-        best = None
-        still_correct = np.ones(images.shape[0], dtype=bool)
-        for _ in range(self.repeats):
-            noise = self._sample_noise(images.shape, epsilon)
-            candidate = np.clip(images + noise, PIXEL_MIN, PIXEL_MAX)
-            if best is None:
-                best = candidate.copy()
-            else:
-                # keep the newest candidate only for samples not yet adversarial
-                best[still_correct] = candidate[still_correct]
-            if not np.any(still_correct):
-                break
-            predictions = model.predict_classes(best[still_correct])
-            fooled = predictions != labels[still_correct]
-            indices = np.flatnonzero(still_correct)
-            still_correct[indices[fooled]] = False
-        return best
+    def num_steps(self):
+        return self.repeats
+
+    def init(self, ctx, prep, epsilon):
+        state = AttackState(epsilon=epsilon, adversarial=ctx.images.copy())
+        state.extra["still_correct"] = np.ones(ctx.images.shape[0], dtype=bool)
+        return state
+
+    def step_payload(self, ctx, prep, step):
+        return self._sample_unit(ctx.rng, ctx.images.shape)
+
+    def perturb(self, ctx, state, prep, payload):
+        candidate = np.clip(
+            ctx.images + state.epsilon * payload, PIXEL_MIN, PIXEL_MAX
+        )
+        still_correct = state.extra["still_correct"]
+        if state.step == 0:
+            state.adversarial = candidate
+        else:
+            # keep the newest candidate only for samples not yet adversarial
+            state.adversarial[still_correct] = candidate[still_correct]
+        predictions = ctx.predict_classes(state.adversarial[still_correct])
+        fooled = predictions != ctx.labels[still_correct]
+        indices = np.flatnonzero(still_correct)
+        still_correct[indices[fooled]] = False
+        if not still_correct.any():
+            state.done = True
+        return state
 
 
 class RepeatedAdditiveGaussianL2(_RepeatedAdditiveNoise):
@@ -58,9 +74,8 @@ class RepeatedAdditiveGaussianL2(_RepeatedAdditiveNoise):
     short_name = "RAG"
     norm = "l2"
 
-    def _sample_noise(self, shape, epsilon):
-        noise = self._rng.normal(size=shape)
-        return epsilon * normalize_l2(noise)
+    def _sample_unit(self, rng, shape):
+        return normalize_l2(rng.normal(size=shape))
 
 
 class RepeatedAdditiveUniformL2(_RepeatedAdditiveNoise):
@@ -70,9 +85,8 @@ class RepeatedAdditiveUniformL2(_RepeatedAdditiveNoise):
     short_name = "RAU"
     norm = "l2"
 
-    def _sample_noise(self, shape, epsilon):
-        noise = self._rng.uniform(-1.0, 1.0, size=shape)
-        return epsilon * normalize_l2(noise)
+    def _sample_unit(self, rng, shape):
+        return normalize_l2(rng.uniform(-1.0, 1.0, size=shape))
 
 
 class RepeatedAdditiveUniformLinf(_RepeatedAdditiveNoise):
@@ -82,5 +96,5 @@ class RepeatedAdditiveUniformLinf(_RepeatedAdditiveNoise):
     short_name = "RAU"
     norm = "linf"
 
-    def _sample_noise(self, shape, epsilon):
-        return self._rng.uniform(-epsilon, epsilon, size=shape)
+    def _sample_unit(self, rng, shape):
+        return rng.uniform(-1.0, 1.0, size=shape)

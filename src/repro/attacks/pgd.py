@@ -1,72 +1,93 @@
-"""Projected Gradient Descent (PGD): BIM with a random start inside the ball."""
+"""Projected Gradient Descent (PGD): BIM with a random start inside the ball.
+
+The random start is drawn in ``prepare`` at *unit* scale — one draw per
+crafting call, scaled per budget in ``init`` — so a sweep shares the draw
+across budgets and regeneration is deterministic: the RNG is derived freshly
+from ``seed`` per call (and per shard) by the engine, never kept as mutable
+attack state.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import GRADIENT, PIXEL_MAX, PIXEL_MIN, Attack
+from repro.attacks.base import GRADIENT, PIXEL_MAX, PIXEL_MIN, Attack, AttackState
 from repro.attacks.distances import normalize_l2, project_l2_ball, project_linf_ball
 from repro.errors import ConfigurationError
 
 
-class PGDLinf(Attack):
+class _PGD(Attack):
+    """Shared PGD machinery; subclasses supply the norm geometry and start."""
+
+    attack_type = GRADIENT
+
+    def __init__(
+        self, steps: int = 10, step_size_factor: float = 0.25, seed: int = 0
+    ) -> None:
+        super().__init__()
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        self.steps = steps
+        self.step_size_factor = step_size_factor
+        self.seed = seed
+
+    def num_steps(self):
+        return self.steps
+
+    def init(self, ctx, prep, epsilon):
+        start = np.clip(ctx.images + epsilon * prep, PIXEL_MIN, PIXEL_MAX)
+        return AttackState(epsilon=epsilon, adversarial=start)
+
+    def _direction(self, gradient):
+        raise NotImplementedError
+
+    def _project(self, perturbation, epsilon):
+        raise NotImplementedError
+
+    def perturb(self, ctx, state, prep, payload):
+        gradient = ctx.gradient(state.adversarial)
+        step_size = state.epsilon * self.step_size_factor
+        adversarial = state.adversarial + step_size * self._direction(gradient)
+        perturbation = self._project(adversarial - ctx.images, state.epsilon)
+        state.adversarial = np.clip(ctx.images + perturbation, PIXEL_MIN, PIXEL_MAX)
+        return state
+
+
+class PGDLinf(_PGD):
     """linf PGD (Madry et al.): random start, iterated sign steps, eps-ball projection."""
 
     name = "Projected Gradient Descent"
     short_name = "PGD"
-    attack_type = GRADIENT
     norm = "linf"
 
-    def __init__(
-        self, steps: int = 10, step_size_factor: float = 0.25, seed: int = 0
-    ) -> None:
-        super().__init__()
-        if steps <= 0:
-            raise ConfigurationError(f"steps must be positive, got {steps}")
-        self.steps = steps
-        self.step_size_factor = step_size_factor
-        self._rng = np.random.default_rng(seed)
+    def prepare(self, ctx):
+        # unit-scale uniform start; init scales it by each budget
+        return ctx.rng.uniform(-1.0, 1.0, size=ctx.images.shape)
 
-    def _run(self, model, images, labels, epsilon):
-        step_size = epsilon * self.step_size_factor
-        start = self._rng.uniform(-epsilon, epsilon, size=images.shape)
-        adversarial = np.clip(images + start, PIXEL_MIN, PIXEL_MAX)
-        for _ in range(self.steps):
-            gradient = self._gradient(model, adversarial, labels)
-            adversarial = adversarial + step_size * np.sign(gradient)
-            perturbation = project_linf_ball(adversarial - images, epsilon)
-            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
-        return adversarial
+    def _direction(self, gradient):
+        return np.sign(gradient)
+
+    def _project(self, perturbation, epsilon):
+        return project_linf_ball(perturbation, epsilon)
 
 
-class PGDL2(Attack):
+class PGDL2(_PGD):
     """l2 PGD: random start in the l2 ball, normalised gradient steps, projection."""
 
     name = "Projected Gradient Descent"
     short_name = "PGD"
-    attack_type = GRADIENT
     norm = "l2"
 
-    def __init__(
-        self, steps: int = 10, step_size_factor: float = 0.25, seed: int = 0
-    ) -> None:
-        super().__init__()
-        if steps <= 0:
-            raise ConfigurationError(f"steps must be positive, got {steps}")
-        self.steps = steps
-        self.step_size_factor = step_size_factor
-        self._rng = np.random.default_rng(seed)
-
-    def _run(self, model, images, labels, epsilon):
-        step_size = epsilon * self.step_size_factor
-        start = self._rng.normal(size=images.shape)
-        start = project_l2_ball(start, epsilon) * self._rng.uniform(
-            0.0, 1.0, size=(images.shape[0],) + (1,) * (images.ndim - 1)
+    def prepare(self, ctx):
+        # a unit-l2 direction with a uniform radius; init scales it per budget
+        direction = normalize_l2(ctx.rng.normal(size=ctx.images.shape))
+        radius = ctx.rng.uniform(
+            0.0, 1.0, size=(ctx.images.shape[0],) + (1,) * (ctx.images.ndim - 1)
         )
-        adversarial = np.clip(images + start, PIXEL_MIN, PIXEL_MAX)
-        for _ in range(self.steps):
-            gradient = self._gradient(model, adversarial, labels)
-            adversarial = adversarial + step_size * normalize_l2(gradient)
-            perturbation = project_l2_ball(adversarial - images, epsilon)
-            adversarial = np.clip(images + perturbation, PIXEL_MIN, PIXEL_MAX)
-        return adversarial
+        return direction * radius
+
+    def _direction(self, gradient):
+        return normalize_l2(gradient)
+
+    def _project(self, perturbation, epsilon):
+        return project_l2_ball(perturbation, epsilon)

@@ -91,6 +91,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         dataset.test.labels[: args.samples],
         epsilons,
         dataset.name,
+        workers=args.workers,
     )
     print(format_robustness_grid(grid))
     return 0
@@ -151,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--samples", type=int, default=40)
     sweep.add_argument("--train", type=int, default=1500)
     sweep.add_argument("--epochs", type=int, default=4)
+    sweep.add_argument(
+        "--workers",
+        default="auto",
+        help="worker count for attack generation (processes) and victim "
+        "evaluation (threads): a positive int or 'auto' (one per core); "
+        "results are invariant to it",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     screen = subparsers.add_parser(

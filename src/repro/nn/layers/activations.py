@@ -11,6 +11,8 @@ from repro.nn.layers.base import Layer
 class ReLU(Layer):
     """Rectified linear unit."""
 
+    _transient_attrs = ("_mask",)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         mask = x > 0
         self._mask = mask if self._keep_grad_cache(training) else None
@@ -23,6 +25,8 @@ class ReLU(Layer):
 class Tanh(Layer):
     """Hyperbolic tangent."""
 
+    _transient_attrs = ("_output",)
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         output = np.tanh(x)
         self._output = output if self._keep_grad_cache(training) else None
@@ -34,6 +38,8 @@ class Tanh(Layer):
 
 class Sigmoid(Layer):
     """Logistic sigmoid."""
+
+    _transient_attrs = ("_output",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         output = 1.0 / (1.0 + np.exp(-x))
@@ -52,6 +58,8 @@ class Softmax(Layer):
     internally; this layer exists for inference-time probability outputs and
     for architectures that explicitly end in a softmax classifier.
     """
+
+    _transient_attrs = ("_output",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         output = softmax(x, axis=-1)

@@ -63,6 +63,13 @@ class Layer:
     #: counter used to derive unique default names per subclass
     _instance_counts: Dict[str, int] = {}
 
+    #: names of instance attributes holding transient forward-pass caches
+    #: (im2col buffers, activation masks, input shapes).  Subclasses declare
+    #: theirs so that pickling a layer — e.g. shipping a model snapshot to a
+    #: spawn-started attack worker — carries parameters, never the last
+    #: batch's activations.
+    _transient_attrs: Tuple[str, ...] = ()
+
     def __init__(self, name: Optional[str] = None) -> None:
         #: True when the layer was not given an explicit name; Sequential
         #: renames auto-named layers positionally at build time so that two
@@ -106,6 +113,19 @@ class Layer:
         return training or grad_cache_enabled()
 
     # ----------------------------------------------------------- utilities
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without transient forward-pass caches.
+
+        A pickled layer is a snapshot of its configuration and parameters; a
+        following ``backward`` on the unpickled copy requires a fresh forward
+        pass, exactly as after :func:`no_grad_cache` inference.
+        """
+        state = self.__dict__.copy()
+        for attr in self._transient_attrs:
+            if attr in state:
+                state[attr] = None
+        return state
+
     @property
     def trainable(self) -> bool:
         """True when the layer owns parameters."""

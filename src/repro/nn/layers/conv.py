@@ -21,6 +21,8 @@ class Conv2D(Layer):
     engine uses, so float and LUT paths share weight layout.
     """
 
+    _transient_attrs = ("_cols_cache", "_input_shape_cache")
+
     def __init__(
         self,
         filters: int,

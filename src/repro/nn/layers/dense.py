@@ -24,6 +24,8 @@ class Dense(Layer):
         Name of the weight initializer (see :mod:`repro.nn.initializers`).
     """
 
+    _transient_attrs = ("_input_cache",)
+
     def __init__(
         self,
         units: int,

@@ -17,6 +17,8 @@ class Dropout(Layer):
     generation) the layer is the identity, so input gradients are unaffected.
     """
 
+    _transient_attrs = ("_mask",)
+
     def __init__(
         self, rate: float, seed: Optional[int] = None, name: Optional[str] = None
     ) -> None:

@@ -18,6 +18,8 @@ class BatchNorm(Layer):
     last.  Running statistics are tracked for evaluation mode.
     """
 
+    _transient_attrs = ("_std", "_x_hat", "_batch_axes")
+
     def __init__(
         self,
         momentum: float = 0.9,

@@ -14,6 +14,8 @@ from repro.nn.layers.base import Layer
 class _Pool2D(Layer):
     """Shared geometry for 2-D pooling layers."""
 
+    _transient_attrs = ("_input_shape",)
+
     def __init__(
         self, pool_size: int = 2, stride: Optional[int] = None, name: Optional[str] = None
     ) -> None:
@@ -79,6 +81,8 @@ class AvgPool2D(_Pool2D):
 class MaxPool2D(_Pool2D):
     """Max pooling."""
 
+    _transient_attrs = ("_input_shape", "_argmax")
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4:
             raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
@@ -108,6 +112,8 @@ class MaxPool2D(_Pool2D):
 
 class GlobalAvgPool2D(Layer):
     """Global average pooling over the spatial dimensions."""
+
+    _transient_attrs = ("_input_shape",)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return (input_shape[2],)

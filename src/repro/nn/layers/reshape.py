@@ -12,6 +12,8 @@ from repro.nn.layers.base import Layer
 class Flatten(Layer):
     """Flattens all non-batch dimensions."""
 
+    _transient_attrs = ("_input_shape",)
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         size = 1
         for dim in input_shape:

@@ -17,6 +17,12 @@ running *batches* concurrently.  This module provides the shared machinery:
     environment variable when set, else 1 — the hook the CI matrix uses to
     run the whole suite through the sharded path).
 
+:class:`ProcessShardPool`
+    Persistent spawn-context process pool for work the GIL serialises —
+    attack generation (see :mod:`repro.attacks.engine`) rather than
+    inference.  Executors are cached per worker count and reused across
+    calls.
+
 Threads (not processes) are the right vehicle here: the dominant kernels
 release the GIL inside BLAS (the percode / error-correction / exact paths)
 and inside most NumPy ufuncs, and worker threads share the process-wide
@@ -35,11 +41,15 @@ in this repo never do.
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from inspect import signature
-from typing import Callable, List, Union
+from typing import Callable, Dict, Iterable, List, Union
 
 import numpy as np
 
@@ -150,6 +160,84 @@ def run_sharded(
         ) as pool:
             outputs = list(pool.map(run_shard, slices))
     return np.concatenate(outputs, axis=0)
+
+
+class ProcessShardPool:
+    """Persistent spawn-context process pool for GIL-heavy shard work.
+
+    Thread sharding (:func:`run_sharded`) covers BLAS-bound inference, but
+    adversarial-example crafting is gradient-bound: its forward/backward
+    passes hold the GIL in pure-NumPy layer code and mutate per-layer
+    backward caches, so worker *threads* neither speed it up nor share one
+    model object safely.  This pool runs shard tasks in separate processes
+    instead.  Tasks must be module-level callables with picklable arguments;
+    models travel as :func:`repro.nn.serialization.dumps_model` payloads.
+
+    Worker processes are started with the ``spawn`` method (fork-safety with
+    threaded BLAS) and are expensive to boot — a fresh interpreter plus the
+    NumPy/SciPy imports — so executors are cached per worker count and
+    reused for the life of the parent process; :func:`atexit` tears them
+    down.  ``map`` preserves task order, and a pool of any size never
+    changes *what* is computed: shard decomposition and per-shard seeding
+    are fixed by the caller before dispatch.
+    """
+
+    _executors: Dict[int, ProcessPoolExecutor] = {}
+    _lock = threading.Lock()
+
+    def __init__(self, workers: WorkerSpec = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    @classmethod
+    def _executor(cls, workers: int) -> ProcessPoolExecutor:
+        with cls._lock:
+            pool = cls._executors.get(workers)
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                cls._executors[workers] = pool
+            return pool
+
+    @classmethod
+    def _evict(cls, workers: int) -> None:
+        with cls._lock:
+            pool = cls._executors.pop(workers, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @classmethod
+    def shutdown_all(cls) -> None:
+        """Shut down every cached executor (atexit hook; also for tests)."""
+        with cls._lock:
+            pools = list(cls._executors.values())
+            cls._executors.clear()
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def map(self, task: Callable, items: Iterable) -> List:
+        """Run ``task`` over ``items`` and return results in input order.
+
+        A single worker (or a single item) runs inline in the calling
+        process — no pool, no serialization round-trip — which is also what
+        keeps one-shard problems bit-identical with zero process overhead.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.workers == 1 or len(items) == 1:
+            return [task(item) for item in items]
+        try:
+            return list(self._executor(self.workers).map(task, items))
+        except BrokenProcessPool:
+            # a dead worker poisons the cached executor; evict it so the
+            # next call starts from a healthy pool
+            self._evict(self.workers)
+            raise
+
+
+atexit.register(ProcessShardPool.shutdown_all)
 
 
 def call_with_workers(method: Callable, *args, workers: WorkerSpec = None, **kwargs):

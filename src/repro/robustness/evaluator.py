@@ -12,17 +12,22 @@ The evaluation pipeline is exactly the paper's:
 
 Adversarial example generation is the expensive part and is independent of
 the victim, so :class:`AdversarialSuite` materialises the examples once per
-(attack, epsilon) and every victim re-uses them.
+(attack, epsilon) and every victim re-uses them.  Generation runs through
+:class:`repro.attacks.engine.AttackEngine`: the whole budget sweep is
+crafted in one amortised pass (epsilon-independent gradients and noise
+draws are shared across budgets) and the batch is sharded over worker
+processes when ``workers > 1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.errors import ConfigurationError
 from repro.nn.metrics import accuracy_percent
 from repro.nn.model import Sequential
@@ -58,8 +63,17 @@ class AdversarialSuite:
         images: np.ndarray,
         labels: np.ndarray,
         epsilons: Sequence[float],
+        workers: WorkerSpec = None,
+        engine: Optional[AttackEngine] = None,
     ) -> "AdversarialSuite":
-        """Craft adversarial examples on the source model for every budget."""
+        """Craft adversarial examples on the source model for every budget.
+
+        The full sweep runs in one :meth:`AttackEngine.generate_sweep` pass:
+        bit-identical to one ``generate`` call per budget, but shared work
+        (single-step gradients, noise draws) is paid once, and the batch is
+        sharded over worker processes when ``workers > 1``.  Pass a
+        pre-configured ``engine`` to override backend or shard size.
+        """
         if len(epsilons) == 0:
             raise ConfigurationError("epsilons must contain at least one budget")
         images = np.asarray(images, dtype=np.float64)
@@ -70,10 +84,11 @@ class AdversarialSuite:
             images=images,
             labels=labels,
         )
-        for epsilon in suite.epsilons:
-            suite.adversarial[epsilon] = attack.generate(
-                source_model, images, labels, epsilon
-            )
+        if engine is None:
+            engine = AttackEngine(source_model, workers=workers)
+        suite.adversarial.update(
+            engine.generate_sweep(attack, images, labels, suite.epsilons)
+        )
         return suite
 
     def evaluate(
@@ -118,7 +133,9 @@ def evaluate_robustness(
     workers: WorkerSpec = None,
 ) -> List[RobustnessResult]:
     """One-shot convenience wrapper: generate the suite and evaluate one victim."""
-    suite = AdversarialSuite.generate(source_model, attack, images, labels, epsilons)
+    suite = AdversarialSuite.generate(
+        source_model, attack, images, labels, epsilons, workers=workers
+    )
     return suite.evaluate(victim, victim_name, workers=workers)
 
 

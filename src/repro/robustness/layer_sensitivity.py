@@ -83,8 +83,9 @@ def layer_sensitivity_analysis(
     layers:
         Subset of compute-layer names to analyse (default: all of them).
     workers:
-        Worker-thread count for the per-victim accuracy evaluations
-        (``"auto"`` = one per core); results are invariant to it.
+        Worker count for the per-victim accuracy evaluations (threads) and
+        for adversarial-example generation (processes); ``"auto"`` = one
+        per core.  Results are invariant to it.
     """
     all_layers = compute_layer_names(model)
     if not all_layers:
@@ -98,7 +99,7 @@ def layer_sensitivity_analysis(
 
     adversarial = None
     if attack is not None:
-        adversarial = attack.generate(model, images, labels, epsilon)
+        adversarial = attack.generate(model, images, labels, epsilon, workers=workers)
 
     kind_by_name = {
         layer.name: type(layer).__name__

@@ -119,13 +119,17 @@ def multiplier_sweep(
 
     Adversarial examples are generated once on the source model and shared by
     all victims, exactly as in Algorithm 1 (the adversary never sees the
-    approximate inference engine).  Victim evaluation shards prediction
-    batches across threads (``workers``, default one per core); the grid is
-    bit-identical for every worker count.
+    approximate inference engine).  Generation runs the whole budget sweep
+    in one amortised engine pass, sharded over worker *processes*; victim
+    evaluation shards prediction batches across worker *threads*.  Both use
+    ``workers`` (default one per core) and the grid is bit-identical for
+    every worker count.
     """
     if not victims:
         raise ConfigurationError("at least one victim AxDNN is required")
-    suite = AdversarialSuite.generate(source_model, attack, images, labels, epsilons)
+    suite = AdversarialSuite.generate(
+        source_model, attack, images, labels, epsilons, workers=workers
+    )
     victim_labels = list(victims)
     values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
     for column, label in enumerate(victim_labels):

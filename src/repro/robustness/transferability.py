@@ -15,9 +15,11 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.attacks.engine import AttackEngine
 from repro.axnn.engine import AxModel
 from repro.errors import ConfigurationError
 from repro.nn.model import Sequential
+from repro.nn.runtime import WorkerSpec, call_with_workers
 
 
 @dataclass(frozen=True)
@@ -88,12 +90,15 @@ def transferability_analysis(
     labels: np.ndarray,
     epsilon: float,
     dataset_name: str,
+    workers: WorkerSpec = None,
 ) -> List[TransferabilityCell]:
     """Evaluate every (source, victim) pair on one dataset.
 
     ``sources`` maps source names (e.g. ``"AccL5"``) to accurate float models
     used for crafting the adversarial examples; ``victims`` maps victim names
     (e.g. ``"AxL5"``, ``"AxAlx"``) to AxDNNs evaluated on those examples.
+    ``workers`` shards attack generation over processes and victim
+    evaluation over threads; cells are invariant to it.
     """
     if epsilon < 0:
         raise ConfigurationError(f"epsilon must be >= 0, got {epsilon}")
@@ -101,10 +106,15 @@ def transferability_analysis(
     labels = np.asarray(labels, dtype=np.int64)
     cells: List[TransferabilityCell] = []
     for source_name, source_model in sources.items():
-        adversarial = attack.generate(source_model, images, labels, epsilon)
+        engine = AttackEngine(source_model, workers=workers)
+        adversarial = engine.generate(attack, images, labels, epsilon)
         for victim_name, victim in victims.items():
-            before = victim.accuracy_percent(images, labels)
-            after = victim.accuracy_percent(adversarial, labels)
+            before = call_with_workers(
+                victim.accuracy_percent, images, labels, workers=workers
+            )
+            after = call_with_workers(
+                victim.accuracy_percent, adversarial, labels, workers=workers
+            )
             cells.append(
                 TransferabilityCell(
                     source=source_name,

@@ -1,0 +1,415 @@
+"""Tests for the unified attack runtime (repro.attacks.engine).
+
+The engine's contract is bit-for-bit reproducibility along three axes:
+per-budget ``generate`` vs one amortised ``generate_sweep``, every worker
+count (1 / N / 'auto'), and the serial vs process sharding backends — plus
+the amortization guarantee that an FGM-family epsilon sweep costs exactly
+one gradient evaluation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    AttackEngine,
+    FGML2,
+    FGMLinf,
+    BIMLinf,
+    PGDL2,
+    PGDLinf,
+    available_attacks,
+    get_attack,
+)
+from repro.attacks.engine import (
+    BACKEND_ENV_VAR,
+    DEFAULT_SHARD_SIZE,
+    resolve_backend,
+)
+from repro.attacks.extended import EXTENDED_ATTACKS, get_extended_attack
+from repro.errors import ConfigurationError
+from repro.nn import ProcessShardPool, Sequential, dumps_model, loads_model
+from repro.robustness import AdversarialSuite
+
+ALL_KEYS = sorted(available_attacks()) + sorted(EXTENDED_ATTACKS)
+
+#: attacks whose crafting consumes the per-call RNG stream
+SEEDED_KEYS = ["PGD_linf", "PGD_l2", "RAG_l2", "RAU_l2", "RAU_linf",
+               "SAP_l0", "AGN_l2", "BUN_l2"]
+
+SWEEP_EPSILONS = [0.0, 0.05, 0.1, 0.2, 0.3]
+
+
+def _make_attack(key):
+    if key in EXTENDED_ATTACKS:
+        return get_extended_attack(key)
+    return get_attack(key)
+
+
+@pytest.fixture(scope="module")
+def engine_data(mnist_small):
+    return mnist_small.test.images[:12], mnist_small.test.labels[:12]
+
+
+class _GradientSpy:
+    """Counts Sequential.input_gradient calls without changing results."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        original = Sequential.input_gradient
+        spy = self
+
+        def counting(model_self, *args, **kwargs):
+            spy.calls += 1
+            return original(model_self, *args, **kwargs)
+
+        monkeypatch.setattr(Sequential, "input_gradient", counting)
+
+
+class TestSweepMatchesGenerate:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_bit_identical_per_budget(self, key, tiny_cnn, engine_data):
+        x, y = engine_data
+        sweep = _make_attack(key).generate_sweep(tiny_cnn, x, y, SWEEP_EPSILONS)
+        assert set(sweep) == set(SWEEP_EPSILONS)
+        for epsilon in SWEEP_EPSILONS:
+            single = _make_attack(key).generate(tiny_cnn, x, y, epsilon)
+            assert np.array_equal(sweep[epsilon], single), (key, epsilon)
+
+    def test_zero_epsilon_entry_is_clean(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        sweep = FGMLinf().generate_sweep(tiny_cnn, x, y, [0.0, 0.1])
+        assert np.array_equal(sweep[0.0], x)
+
+    def test_duplicate_budgets_collapse(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        sweep = FGMLinf().generate_sweep(tiny_cnn, x, y, [0.1, 0.1, 0.2])
+        assert set(sweep) == {0.1, 0.2}
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("key", sorted(available_attacks()))
+    def test_bit_identical_across_worker_counts(self, key, tiny_cnn, engine_data):
+        x, y = engine_data
+        attack = _make_attack(key)
+        # shard_size=5 over 12 samples -> 3 shards, so workers=2 really
+        # dispatches to the process pool
+        serial = AttackEngine(tiny_cnn, workers=1, shard_size=5).generate(
+            attack, x, y, 0.25
+        )
+        sharded = AttackEngine(
+            tiny_cnn, workers=2, backend="process", shard_size=5
+        ).generate(attack, x, y, 0.25)
+        auto = AttackEngine(tiny_cnn, workers="auto", shard_size=5).generate(
+            attack, x, y, 0.25
+        )
+        assert np.array_equal(serial, sharded), key
+        assert np.array_equal(serial, auto), key
+
+    def test_sweep_bit_identical_across_worker_counts(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        serial = AttackEngine(tiny_cnn, workers=1, shard_size=5).generate_sweep(
+            PGDLinf(), x, y, SWEEP_EPSILONS
+        )
+        sharded = AttackEngine(
+            tiny_cnn, workers=2, backend="process", shard_size=5
+        ).generate_sweep(PGDLinf(), x, y, SWEEP_EPSILONS)
+        for epsilon in SWEEP_EPSILONS:
+            assert np.array_equal(serial[epsilon], sharded[epsilon]), epsilon
+
+    def test_serial_backend_forces_in_process_run(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        reference = AttackEngine(tiny_cnn, workers=1, shard_size=5).generate(
+            BIMLinf(), x, y, 0.2
+        )
+        forced = AttackEngine(
+            tiny_cnn, workers=4, backend="serial", shard_size=5
+        ).generate(BIMLinf(), x, y, 0.2)
+        assert np.array_equal(reference, forced)
+
+    def test_decision_attack_on_non_sequential_source(
+        self, quantized_tiny, engine_data
+    ):
+        # decision attacks accept any source exposing predict_classes; the
+        # engine falls back to serial sharding for non-Sequential models
+        x, y = engine_data
+        attack = get_attack("RAU_linf")
+        serial = AttackEngine(quantized_tiny, workers=1, shard_size=5).generate(
+            attack, x, y, 0.4
+        )
+        fallback = AttackEngine(
+            quantized_tiny, workers=2, backend="process", shard_size=5
+        ).generate(attack, x, y, 0.4)
+        assert np.array_equal(serial, fallback)
+
+
+class TestSweepAmortization:
+    @pytest.mark.parametrize("attack_cls", [FGMLinf, FGML2])
+    def test_fgm_family_sweep_costs_one_gradient(
+        self, attack_cls, tiny_cnn, engine_data, monkeypatch
+    ):
+        x, y = engine_data
+        spy = _GradientSpy(monkeypatch)
+        engine = AttackEngine(tiny_cnn, workers=1, shard_size=x.shape[0])
+        sweep = engine.generate_sweep(
+            attack_cls(), x, y, [0.05, 0.1, 0.15, 0.2, 0.25]
+        )
+        assert len(sweep) == 5
+        assert spy.calls == 1
+
+    def test_fgm_per_budget_loop_costs_one_gradient_each(
+        self, tiny_cnn, engine_data, monkeypatch
+    ):
+        x, y = engine_data
+        spy = _GradientSpy(monkeypatch)
+        engine = AttackEngine(tiny_cnn, workers=1, shard_size=x.shape[0])
+        for epsilon in [0.05, 0.1, 0.15, 0.2, 0.25]:
+            engine.generate(FGMLinf(), x, y, epsilon)
+        assert spy.calls == 5
+
+    def test_bim_sweep_shares_first_step_gradient(
+        self, tiny_cnn, engine_data, monkeypatch
+    ):
+        x, y = engine_data
+        spy = _GradientSpy(monkeypatch)
+        steps, budgets = 4, [0.1, 0.2, 0.3]
+        engine = AttackEngine(tiny_cnn, workers=1, shard_size=x.shape[0])
+        engine.generate_sweep(BIMLinf(steps=steps), x, y, budgets)
+        # one shared first-step gradient + (steps - 1) per budget
+        assert spy.calls == 1 + (steps - 1) * len(budgets)
+
+    def test_gradient_count_scales_with_shards(
+        self, tiny_cnn, engine_data, monkeypatch
+    ):
+        x, y = engine_data
+        spy = _GradientSpy(monkeypatch)
+        engine = AttackEngine(tiny_cnn, workers=1, shard_size=4)
+        engine.generate_sweep(FGMLinf(), x, y, [0.05, 0.1, 0.15, 0.2, 0.25])
+        assert spy.calls == 3  # 12 samples / shard_size 4
+
+
+class TestEmptyBatch:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_empty_batch_returns_well_formed_empty(self, key, tiny_cnn, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("gradient evaluated on an empty batch")
+
+        monkeypatch.setattr(Sequential, "input_gradient", boom)
+        monkeypatch.setattr(Sequential, "predict_classes", boom)
+        x = np.zeros((0, 28, 28, 1))
+        y = np.zeros((0,), dtype=np.int64)
+        adversarial = _make_attack(key).generate(tiny_cnn, x, y, 0.3)
+        assert adversarial.shape == x.shape
+        assert adversarial.dtype == np.float64
+
+    def test_empty_batch_sweep(self, tiny_cnn):
+        x = np.zeros((0, 28, 28, 1))
+        y = np.zeros((0,), dtype=np.int64)
+        sweep = FGMLinf().generate_sweep(tiny_cnn, x, y, SWEEP_EPSILONS)
+        assert set(sweep) == set(SWEEP_EPSILONS)
+        assert all(value.shape == x.shape for value in sweep.values())
+
+
+class TestRNGReproducibility:
+    @pytest.mark.parametrize("key", SEEDED_KEYS)
+    def test_consecutive_calls_on_one_instance_are_identical(
+        self, key, tiny_cnn, engine_data
+    ):
+        # regression: PGD/noise attacks used to keep a mutable self._rng, so
+        # regenerating on the same instance gave different adversarials
+        x, y = engine_data
+        attack = _make_attack(key)
+        first = attack.generate(tiny_cnn, x, y, 0.25)
+        second = attack.generate(tiny_cnn, x, y, 0.25)
+        assert np.array_equal(first, second), key
+
+    def test_different_seeds_differ(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        a = PGDL2(seed=1).generate(tiny_cnn, x, y, 0.5)
+        b = PGDL2(seed=2).generate(tiny_cnn, x, y, 0.5)
+        assert not np.array_equal(a, b)
+
+    def test_per_call_seed_override(self, tiny_cnn, engine_data):
+        # callers that want fresh randomness per call (adversarial training
+        # drawing new PGD starts every minibatch) pass a varying seed
+        x, y = engine_data
+        attack = PGDLinf(seed=0)
+        base = attack.generate(tiny_cnn, x, y, 0.25)
+        overridden = attack.generate(tiny_cnn, x, y, 0.25, seed=123)
+        repeated = attack.generate(tiny_cnn, x, y, 0.25, seed=123)
+        assert not np.array_equal(base, overridden)
+        assert np.array_equal(overridden, repeated)
+        # the override is per-call: the attack's own seed is untouched
+        assert np.array_equal(base, attack.generate(tiny_cnn, x, y, 0.25))
+
+    def test_adversarial_trainer_varies_draws_per_batch(self, tiny_cnn, engine_data):
+        # regression for the engine refactor: the trainer must not feed
+        # byte-identical PGD starts to every minibatch of every epoch
+        from repro.defenses.adversarial_training import AdversarialTrainer
+
+        x, y = engine_data
+        trainer = AdversarialTrainer(
+            tiny_cnn, attack=PGDLinf(seed=0), epsilon=0.2,
+            adversarial_ratio=1.0, seed=4,
+        )
+        first, _ = trainer._augment_batch(x, y)
+        second, _ = trainer._augment_batch(x, y)
+        assert not np.array_equal(first, second)
+
+    def test_shard_size_is_part_of_seeded_semantics(self, tiny_cnn, engine_data):
+        # per-shard streams are spawned per shard index, so the shard size
+        # (unlike the worker count) legitimately changes seeded draws
+        x, y = engine_data
+        one_shard = AttackEngine(tiny_cnn, workers=1, shard_size=12).generate(
+            PGDLinf(), x, y, 0.25
+        )
+        three_shards = AttackEngine(tiny_cnn, workers=1, shard_size=4).generate(
+            PGDLinf(), x, y, 0.25
+        )
+        assert one_shard.shape == three_shards.shape
+        assert not np.array_equal(one_shard, three_shards)
+
+
+class TestSuiteIntegration:
+    def test_suite_generation_matches_per_budget_calls(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        suite = AdversarialSuite.generate(
+            tiny_cnn, PGDLinf(), x, y, SWEEP_EPSILONS, workers=1
+        )
+        for epsilon in SWEEP_EPSILONS:
+            expected = PGDLinf().generate(tiny_cnn, x, y, epsilon)
+            assert np.array_equal(suite.adversarial[epsilon], expected)
+
+    def test_suite_accepts_preconfigured_engine(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        engine = AttackEngine(tiny_cnn, workers=1, shard_size=4)
+        suite = AdversarialSuite.generate(
+            tiny_cnn, FGMLinf(), x, y, [0.0, 0.1], engine=engine
+        )
+        assert set(suite.adversarial) == {0.0, 0.1}
+
+
+class TestValidation:
+    def test_empty_epsilons_rejected(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        with pytest.raises(ConfigurationError):
+            AttackEngine(tiny_cnn).generate_sweep(FGMLinf(), x, y, [])
+
+    def test_negative_epsilon_rejected(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        with pytest.raises(ConfigurationError):
+            AttackEngine(tiny_cnn).generate_sweep(FGMLinf(), x, y, [0.1, -0.2])
+
+    def test_mismatched_labels_rejected(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        with pytest.raises(ConfigurationError):
+            AttackEngine(tiny_cnn).generate(FGMLinf(), x, y[:-1], 0.1)
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, "threads", "fork"])
+    def test_invalid_backend_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_backend(bad)
+
+    def test_backend_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert resolve_backend(None) == "serial"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert resolve_backend(None) == "process"
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert resolve_backend(None) == "process"
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_invalid_shard_size_rejected(self, bad, tiny_cnn):
+        with pytest.raises(ConfigurationError):
+            AttackEngine(tiny_cnn, shard_size=bad)
+
+    def test_default_shard_size(self, tiny_cnn):
+        assert AttackEngine(tiny_cnn).shard_size == DEFAULT_SHARD_SIZE
+
+
+class TestModelSnapshots:
+    def test_roundtrip_preserves_predictions(self, tiny_cnn, engine_data):
+        x, _ = engine_data
+        clone = loads_model(dumps_model(tiny_cnn))
+        assert np.array_equal(clone.predict(x), tiny_cnn.predict(x))
+
+    def test_snapshot_drops_backward_caches(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        tiny_cnn.input_gradient(x, y)  # populate im2col / input caches
+        cached = dumps_model(tiny_cnn)
+        for layer in loads_model(cached).layers:
+            for attr in layer._transient_attrs:
+                assert getattr(layer, attr) is None, (layer.name, attr)
+        # the live model's caches are untouched by serialization
+        assert any(
+            getattr(layer, attr) is not None
+            for layer in tiny_cnn.layers
+            for attr in layer._transient_attrs
+        )
+
+    def test_snapshot_is_cache_free_sized(self, tiny_cnn, engine_data):
+        x, y = engine_data
+        fresh = len(dumps_model(tiny_cnn))
+        tiny_cnn.input_gradient(x, y)
+        after_gradient = len(dumps_model(tiny_cnn))
+        assert after_gradient == fresh
+
+    def test_rejects_non_models(self):
+        with pytest.raises(ConfigurationError):
+            dumps_model(object())
+
+
+class TestSweepProperties:
+    """Hypothesis: sweep/generate equality holds for arbitrary budget lists."""
+
+    @pytest.fixture(scope="class")
+    def small_model(self):
+        from repro.nn import Dense, Flatten, ReLU
+
+        return Sequential(
+            [Flatten(), Dense(12), ReLU(), Dense(10)],
+            input_shape=(6, 6, 1),
+            name="engine_prop",
+            seed=11,
+        )
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        epsilons=st.lists(
+            st.floats(0.0, 2.0, allow_nan=False), min_size=1, max_size=4
+        ),
+        shard_size=st.integers(1, 9),
+        seed=st.integers(0, 5),
+    )
+    def test_sweep_equals_per_budget_generate(
+        self, small_model, epsilons, shard_size, seed
+    ):
+        rng = np.random.default_rng(seed)
+        x = rng.random((7, 6, 6, 1))
+        y = rng.integers(0, 10, size=7)
+        engine = AttackEngine(small_model, workers=1, shard_size=shard_size)
+        attack = PGDLinf(steps=2, seed=seed)
+        sweep = engine.generate_sweep(attack, x, y, epsilons)
+        for epsilon in epsilons:
+            single = engine.generate(PGDLinf(steps=2, seed=seed), x, y, epsilon)
+            assert np.array_equal(sweep[float(epsilon)], single)
+
+
+class TestProcessShardPool:
+    def test_single_worker_runs_inline(self):
+        pool = ProcessShardPool(1)
+        assert pool.map(len, [[1, 2], [3]]) == [2, 1]
+
+    def test_single_item_runs_inline(self):
+        pool = ProcessShardPool(4)
+        assert pool.map(len, [[1, 2, 3]]) == [3]
+
+    def test_empty_items(self):
+        assert ProcessShardPool(2).map(len, []) == []
+
+    def test_workers_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFAULT_WORKERS", "3")
+        assert ProcessShardPool(None).workers == 3
+        with pytest.raises(ConfigurationError):
+            ProcessShardPool(0)
