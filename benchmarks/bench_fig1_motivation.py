@@ -3,62 +3,80 @@
 Accurate vs approximate FFNN and LeNet-5 under the linf-PGD and l2-CR attacks
 over the full perturbation-budget sweep.  The accurate models use the exact
 multiplier (1JFF); the approximate models use the L1G stand-in, matching the
-paper's motivational setup.
+paper's motivational setup.  Each panel is a declarative experiment spec
+served from the artifact store on re-runs.
 """
 
 import pytest
 
-from benchmarks.conftest import EPSILONS, report_grid
-from repro.attacks import get_attack
-from repro.robustness import build_victims, multiplier_sweep
+from benchmarks.conftest import (
+    FFNN_MODEL,
+    LENET_MODEL,
+    N_MNIST_SAMPLES,
+    EPSILONS,
+    report_grid,
+)
+from repro.experiments import AttackSpec, ExperimentSpec, SweepSpec, VictimSpec
+
+#: accurate (1JFF) vs approximate (L1G) pair of the motivational study
+FIG1_MULTIPLIERS = ("mul8u_1JFF", "mul8s_L1G")
 
 
-def _sweep(bundle, attack_key, dataset_name):
-    victims = build_victims(
-        bundle["model"], ["mul8u_1JFF", "mul8s_L1G"], bundle["calibration"]
+def _spec(name, model, attack_key):
+    return ExperimentSpec(
+        name=name,
+        model=model,
+        victims=VictimSpec(multipliers=FIG1_MULTIPLIERS),
+        attacks=(AttackSpec(attack=attack_key),),
+        sweep=SweepSpec(epsilons=tuple(EPSILONS), n_samples=N_MNIST_SAMPLES),
     )
-    return multiplier_sweep(
-        bundle["model"],
-        victims,
-        get_attack(attack_key),
-        bundle["x"],
-        bundle["y"],
-        EPSILONS,
-        dataset_name,
-    )
+
+
+def _panel(experiment_session, name, model, attack_key):
+    return experiment_session.run(_spec(name, model, attack_key)).grids[0]
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_ffnn_pgd_linf(benchmark, ffnn_bundle):
+def test_fig1_ffnn_pgd_linf(benchmark, experiment_session):
     """Fig. 1 (top-left): FFNN, accurate vs L1G, linf PGD."""
     grid = benchmark.pedantic(
-        lambda: _sweep(ffnn_bundle, "PGD_linf", "synthetic-mnist"), rounds=1, iterations=1
+        lambda: _panel(experiment_session, "fig1_ffnn_pgd_linf", FFNN_MODEL, "PGD_linf"),
+        rounds=1,
+        iterations=1,
     )
     report_grid("fig1_ffnn_pgd_linf", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_ffnn_cr_l2(benchmark, ffnn_bundle):
+def test_fig1_ffnn_cr_l2(benchmark, experiment_session):
     """Fig. 1 (bottom-left): FFNN, accurate vs L1G, l2 contrast reduction."""
     grid = benchmark.pedantic(
-        lambda: _sweep(ffnn_bundle, "CR_l2", "synthetic-mnist"), rounds=1, iterations=1
+        lambda: _panel(experiment_session, "fig1_ffnn_cr_l2", FFNN_MODEL, "CR_l2"),
+        rounds=1,
+        iterations=1,
     )
     report_grid("fig1_ffnn_cr_l2", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_lenet_pgd_linf(benchmark, lenet_bundle):
+def test_fig1_lenet_pgd_linf(benchmark, experiment_session):
     """Fig. 1 (top-right): LeNet-5, accurate vs L1G, linf PGD."""
     grid = benchmark.pedantic(
-        lambda: _sweep(lenet_bundle, "PGD_linf", "synthetic-mnist"), rounds=1, iterations=1
+        lambda: _panel(
+            experiment_session, "fig1_lenet_pgd_linf", LENET_MODEL, "PGD_linf"
+        ),
+        rounds=1,
+        iterations=1,
     )
     report_grid("fig1_lenet_pgd_linf", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_lenet_cr_l2(benchmark, lenet_bundle):
+def test_fig1_lenet_cr_l2(benchmark, experiment_session):
     """Fig. 1 (bottom-right): LeNet-5, accurate vs L1G, l2 contrast reduction."""
     grid = benchmark.pedantic(
-        lambda: _sweep(lenet_bundle, "CR_l2", "synthetic-mnist"), rounds=1, iterations=1
+        lambda: _panel(experiment_session, "fig1_lenet_cr_l2", LENET_MODEL, "CR_l2"),
+        rounds=1,
+        iterations=1,
     )
     report_grid("fig1_lenet_cr_l2", grid, benchmark.extra_info)

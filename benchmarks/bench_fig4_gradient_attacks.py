@@ -2,28 +2,21 @@
 
 Four panels: (a) linf BIM, (b) l2 BIM, (c) linf FGM, (d) l2 FGM, each a
 (perturbation budget x multiplier M1..M9) grid of percentage robustness.
+Each panel is a declarative :class:`repro.experiments.ExperimentSpec` run
+through the shared session — re-running with unchanged knobs is served
+entirely from the artifact store.
 """
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid
 from repro.analysis import compare_with_paper_grid, lenet_paper_grid
-from repro.attacks import get_attack
-from repro.robustness import multiplier_sweep
 
 
-def _panel(lenet_bundle, attack_key):
-    return multiplier_sweep(
-        lenet_bundle["model"],
-        lenet_bundle["victims"],
-        get_attack(attack_key),
-        lenet_bundle["x"],
-        lenet_bundle["y"],
-        EPSILONS,
-        "synthetic-mnist",
-        workers=BENCH_WORKERS,
-    )
+def _panel(experiment_session, name, attack_key):
+    spec = lenet_panel_spec(name, [attack_key])
+    return experiment_session.run(spec).grids[0]
 
 
 def _attach_paper_comparison(grid, attack_key, extra_info):
@@ -33,35 +26,51 @@ def _attach_paper_comparison(grid, attack_key, extra_info):
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4a_bim_linf(benchmark, lenet_bundle):
+def test_fig4a_bim_linf(benchmark, experiment_session):
     """Fig. 4a: linf BIM collapses every model beyond eps = 0.25."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "BIM_linf"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig4a_bim_linf", "BIM_linf"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig4a_bim_linf", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "BIM_linf", benchmark.extra_info)
     assert np.all(grid.row(2.0) <= 20.0)
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4b_bim_l2(benchmark, lenet_bundle):
+def test_fig4b_bim_l2(benchmark, experiment_session):
     """Fig. 4b: l2 BIM is far milder than its linf counterpart."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "BIM_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig4b_bim_l2", "BIM_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig4b_bim_l2", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "BIM_l2", benchmark.extra_info)
     assert grid.row(0.25).mean() >= 50.0
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4c_fgm_linf(benchmark, lenet_bundle):
+def test_fig4c_fgm_linf(benchmark, experiment_session):
     """Fig. 4c: single-step linf FGM degrades accuracy more gradually than BIM."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "FGM_linf"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig4c_fgm_linf", "FGM_linf"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig4c_fgm_linf", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "FGM_linf", benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4d_fgm_l2(benchmark, lenet_bundle):
+def test_fig4d_fgm_l2(benchmark, experiment_session):
     """Fig. 4d: l2 FGM leaves accuracy almost untouched at small budgets."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "FGM_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig4d_fgm_l2", "FGM_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig4d_fgm_l2", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "FGM_l2", benchmark.extra_info)
     assert grid.row(0.1).mean() >= 50.0

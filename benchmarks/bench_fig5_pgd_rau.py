@@ -1,34 +1,29 @@
 """Figure 5 — LeNet-5 / MNIST robustness heat-maps under PGD and RAU.
 
-Four panels: (a) l2 PGD, (b) linf PGD, (c) l2 RAU, (d) linf RAU.
+Four panels: (a) l2 PGD, (b) linf PGD, (c) l2 RAU, (d) linf RAU — each a
+declarative experiment spec served from the artifact store on re-runs.
 """
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid
 from repro.analysis import compare_with_paper_grid, lenet_paper_grid
-from repro.attacks import get_attack
-from repro.robustness import multiplier_sweep
 
 
-def _panel(lenet_bundle, attack_key):
-    return multiplier_sweep(
-        lenet_bundle["model"],
-        lenet_bundle["victims"],
-        get_attack(attack_key),
-        lenet_bundle["x"],
-        lenet_bundle["y"],
-        EPSILONS,
-        "synthetic-mnist",
-        workers=BENCH_WORKERS,
-    )
+def _panel(experiment_session, name, attack_key):
+    spec = lenet_panel_spec(name, [attack_key])
+    return experiment_session.run(spec).grids[0]
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5a_pgd_l2(benchmark, lenet_bundle):
+def test_fig5a_pgd_l2(benchmark, experiment_session):
     """Fig. 5a: l2 PGD degrades accuracy slowly over the budget sweep."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "PGD_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig5a_pgd_l2", "PGD_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig5a_pgd_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, lenet_paper_grid("PGD_l2")
@@ -36,9 +31,13 @@ def test_fig5a_pgd_l2(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5b_pgd_linf(benchmark, lenet_bundle):
+def test_fig5b_pgd_linf(benchmark, experiment_session):
     """Fig. 5b: linf PGD collapses every model beyond small budgets."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "PGD_linf"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig5b_pgd_linf", "PGD_linf"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig5b_pgd_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, lenet_paper_grid("PGD_linf")
@@ -47,17 +46,25 @@ def test_fig5b_pgd_linf(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5c_rau_l2(benchmark, lenet_bundle):
+def test_fig5c_rau_l2(benchmark, experiment_session):
     """Fig. 5c: l2 repeated uniform noise is essentially harmless."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAU_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig5c_rau_l2", "RAU_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig5c_rau_l2", grid, benchmark.extra_info)
     assert grid.accuracy_loss().max() <= 25.0
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5d_rau_linf(benchmark, lenet_bundle):
+def test_fig5d_rau_linf(benchmark, experiment_session):
     """Fig. 5d: linf repeated uniform noise destroys accuracy at large budgets."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAU_linf"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig5d_rau_linf", "RAU_linf"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig5d_rau_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, lenet_paper_grid("RAU_linf")

@@ -3,38 +3,33 @@
 Two panels: (a) l2 contrast reduction, (b) l2 repeated additive Gaussian
 noise.  This figure carries the paper's headline claim: the same CR attack
 that leaves the accurate DNN untouched causes a large accuracy loss in the
-high-error AxDNNs.
+high-error AxDNNs.  Each panel is a declarative experiment spec served from
+the artifact store on re-runs.
 """
 
 import pytest
 
-from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid
 from repro.analysis import (
     approximation_not_universally_defensive,
     compare_with_paper_grid,
     lenet_paper_grid,
 )
-from repro.attacks import get_attack
-from repro.robustness import multiplier_sweep
 
 
-def _panel(lenet_bundle, attack_key):
-    return multiplier_sweep(
-        lenet_bundle["model"],
-        lenet_bundle["victims"],
-        get_attack(attack_key),
-        lenet_bundle["x"],
-        lenet_bundle["y"],
-        EPSILONS,
-        "synthetic-mnist",
-        workers=BENCH_WORKERS,
-    )
+def _panel(experiment_session, name, attack_key):
+    spec = lenet_panel_spec(name, [attack_key])
+    return experiment_session.run(spec).grids[0]
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6a_cr_l2(benchmark, lenet_bundle):
+def test_fig6a_cr_l2(benchmark, experiment_session):
     """Fig. 6a: contrast reduction barely affects the accurate DNN but can hurt AxDNNs."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "CR_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig6a_cr_l2", "CR_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig6a_cr_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, lenet_paper_grid("CR_l2")
@@ -48,9 +43,13 @@ def test_fig6a_cr_l2(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6b_rag_l2(benchmark, lenet_bundle):
+def test_fig6b_rag_l2(benchmark, experiment_session):
     """Fig. 6b: repeated additive Gaussian noise is harmless at every budget."""
-    grid = benchmark.pedantic(lambda: _panel(lenet_bundle, "RAG_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig6b_rag_l2", "RAG_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig6b_rag_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, lenet_paper_grid("RAG_l2")

@@ -3,35 +3,29 @@
 Four panels: (a) l2 CR, (b) l2 RAG, (c) l2 RAU, (d) linf RAU over the
 AlexNet multiplier set (A1..A8).  The paper's observation: the AxDNNs track
 the accurate AlexNet closely except under the linf RAU attack, where
-everything collapses at large budgets.
+everything collapses at large budgets.  Each panel is a declarative
+experiment spec served from the artifact store on re-runs.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_WORKERS, EPSILONS, report_grid
+from benchmarks.conftest import alexnet_panel_spec, report_grid
 from repro.analysis import alexnet_paper_grid, compare_with_paper_grid
-from repro.attacks import get_attack
-from repro.robustness import multiplier_sweep
 
 
-def _panel(alexnet_bundle, attack_key):
-    return multiplier_sweep(
-        alexnet_bundle["model"],
-        alexnet_bundle["victims"],
-        get_attack(attack_key),
-        alexnet_bundle["x"],
-        alexnet_bundle["y"],
-        EPSILONS,
-        "synthetic-cifar10",
-        workers=BENCH_WORKERS,
-    )
+def _panel(experiment_session, name, attack_key):
+    spec = alexnet_panel_spec(name, [attack_key])
+    return experiment_session.run(spec).grids[0]
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7a_cr_l2(benchmark, alexnet_bundle):
+def test_fig7a_cr_l2(benchmark, experiment_session):
     """Fig. 7a: contrast reduction on AlexNet: mild, slightly worse for AxDNNs."""
-    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "CR_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig7a_cr_l2", "CR_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig7a_cr_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, alexnet_paper_grid("CR_l2")
@@ -39,9 +33,13 @@ def test_fig7a_cr_l2(benchmark, alexnet_bundle):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7b_rag_l2(benchmark, alexnet_bundle):
+def test_fig7b_rag_l2(benchmark, experiment_session):
     """Fig. 7b: repeated additive Gaussian noise on AlexNet is mild."""
-    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAG_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig7b_rag_l2", "RAG_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig7b_rag_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, alexnet_paper_grid("RAG_l2")
@@ -50,9 +48,13 @@ def test_fig7b_rag_l2(benchmark, alexnet_bundle):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7c_rau_l2(benchmark, alexnet_bundle):
+def test_fig7c_rau_l2(benchmark, experiment_session):
     """Fig. 7c: l2 repeated uniform noise on AlexNet is mild."""
-    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAU_l2"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig7c_rau_l2", "RAU_l2"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig7c_rau_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, alexnet_paper_grid("RAU_l2")
@@ -60,9 +62,13 @@ def test_fig7c_rau_l2(benchmark, alexnet_bundle):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7d_rau_linf(benchmark, alexnet_bundle):
+def test_fig7d_rau_linf(benchmark, experiment_session):
     """Fig. 7d: linf repeated uniform noise collapses AlexNet at large budgets."""
-    grid = benchmark.pedantic(lambda: _panel(alexnet_bundle, "RAU_linf"), rounds=1, iterations=1)
+    grid = benchmark.pedantic(
+        lambda: _panel(experiment_session, "fig7d_rau_linf", "RAU_linf"),
+        rounds=1,
+        iterations=1,
+    )
     report_grid("fig7d_rau_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
         grid, alexnet_paper_grid("RAU_linf")

@@ -3,33 +3,41 @@
 The paper's Section IV.D conclusion: 8-bit fixed-point quantization improves
 (or at least preserves) the adversarial robustness of the accurate DNN,
 whereas adding approximation on top of quantization (Figures 4-6) takes the
-benefit away.
+benefit away.  The whole study is one declarative ``kind="quantization"``
+experiment spec — per-attack adversarial suites are shared with the Fig. 4-6
+panels through the artifact store.
 """
 
 import pytest
 
-from benchmarks.conftest import BENCH_WORKERS, EPSILONS, save_payload
-from repro.attacks import available_attacks, get_attack
-from repro.robustness import quantization_study
+from benchmarks.conftest import (
+    EPSILONS,
+    LENET_MODEL,
+    N_MNIST_SAMPLES,
+    save_payload,
+)
+from repro.attacks import available_attacks
+from repro.experiments import AttackSpec, ExperimentSpec, SweepSpec, VictimSpec
+
+
+def _spec():
+    return ExperimentSpec(
+        name="fig8_quantization_study",
+        kind="quantization",
+        model=LENET_MODEL,
+        victims=VictimSpec(multipliers=("M1",)),
+        attacks=tuple(AttackSpec(attack=key) for key in available_attacks()),
+        sweep=SweepSpec(epsilons=tuple(EPSILONS), n_samples=N_MNIST_SAMPLES),
+    )
 
 
 @pytest.mark.benchmark(group="fig8")
-def test_fig8_quantized_vs_float(benchmark, lenet_bundle):
+def test_fig8_quantized_vs_float(benchmark, experiment_session):
     """Run the full ten-attack quantization study of Fig. 8."""
-    attacks = [get_attack(key) for key in available_attacks()]
-
-    def run():
-        return quantization_study(
-            lenet_bundle["model"],
-            attacks,
-            lenet_bundle["x"],
-            lenet_bundle["y"],
-            EPSILONS,
-            lenet_bundle["calibration"],
-            workers=BENCH_WORKERS,
-        )
-
-    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: experiment_session.run(_spec()), rounds=1, iterations=1
+    )
+    study = result.study
     payload = study.to_dict()
     payload["mean_quantization_gain"] = study.mean_quantization_gain()
     save_payload("fig8_quantization_study", payload)

@@ -3,7 +3,9 @@
 Adversarial examples are crafted on each accurate architecture (AccL5,
 AccAlx) and evaluated on AxDNNs of *both* architectures, on both datasets —
 the paper's second attack scenario, where the adversary knows neither the
-inexactness nor the victim's model structure.
+inexactness nor the victim's model structure.  Each dataset is one
+declarative ``kind="transfer"`` experiment spec; trained sources and crafted
+suites are shared with the other figures through the artifact store.
 """
 
 import os
@@ -12,9 +14,13 @@ import pytest
 
 from benchmarks.conftest import BENCH_WORKERS, N_EPOCHS, N_TRAIN, save_payload
 from repro.analysis import TABLE2_TRANSFERABILITY, format_transfer_table
-from repro.attacks import get_attack
-from repro.models import trained_model
-from repro.robustness import build_victims, transferability_analysis
+from repro.experiments import (
+    AttackSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SweepSpec,
+    VictimSpec,
+)
 
 #: the paper uses eps = 0.05; our synthetic models are less robust at equal
 #: budgets, so the bench also records a smaller-budget point for comparison
@@ -22,52 +28,52 @@ EPSILON = float(os.environ.get("REPRO_BENCH_TRANSFER_EPS", "0.05"))
 TRANSFER_MULTIPLIER = "M4"
 
 
-def _dataset_study(dataset_name, n_samples):
-    """Train both architectures on one dataset and evaluate all source/victim pairs."""
-    lenet = trained_model(
-        "lenet5", dataset_name, n_train=N_TRAIN, n_test=300, epochs=N_EPOCHS, seed=0
+def _dataset_spec(dataset_name, n_samples):
+    """The two-architecture transfer experiment on one dataset."""
+    lenet = ModelSpec(
+        architecture="lenet5",
+        dataset=dataset_name,
+        n_train=N_TRAIN,
+        n_test=300,
+        epochs=N_EPOCHS,
     )
-    alexnet = trained_model(
-        "alexnet", dataset_name, n_train=N_TRAIN, n_test=300, epochs=N_EPOCHS + 1, seed=0
+    alexnet = ModelSpec(
+        architecture="alexnet",
+        dataset=dataset_name,
+        n_train=N_TRAIN,
+        n_test=300,
+        epochs=N_EPOCHS + 1,
     )
-    dataset = lenet.dataset
-    calibration = dataset.train.images[:96]
-    x = dataset.test.images[:n_samples]
-    y = dataset.test.labels[:n_samples]
-    sources = {"AccL5": lenet.model, "AccAlx": alexnet.model}
-    victims = {
-        "AxL5": build_victims(lenet.model, [TRANSFER_MULTIPLIER], calibration)[
-            TRANSFER_MULTIPLIER
-        ],
-        "AxAlx": build_victims(alexnet.model, [TRANSFER_MULTIPLIER], calibration)[
-            TRANSFER_MULTIPLIER
-        ],
-    }
-    return transferability_analysis(
-        sources,
-        victims,
-        get_attack("BIM_linf"),
-        x,
-        y,
-        EPSILON,
-        dataset_name,
-        workers=BENCH_WORKERS,
+    return ExperimentSpec(
+        name=f"table2_{dataset_name}",
+        kind="transfer",
+        model=lenet,
+        transfer_sources=(alexnet,),
+        victims=VictimSpec(
+            multipliers=(TRANSFER_MULTIPLIER,), calibration_samples=96
+        ),
+        attacks=(AttackSpec(attack="BIM_linf"),),
+        sweep=SweepSpec(epsilons=(EPSILON,), n_samples=n_samples),
     )
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_transferability(benchmark):
+def test_table2_transferability(benchmark, experiment_session):
     """Reproduce the Table II layout on both synthetic datasets."""
+
     def run():
         cells = []
-        cells.extend(_dataset_study("mnist", 48))
-        cells.extend(_dataset_study("cifar10", 32))
+        for dataset_name, n_samples in (("mnist", 48), ("cifar10", 32)):
+            result = experiment_session.run(
+                _dataset_spec(dataset_name, n_samples), workers=BENCH_WORKERS
+            )
+            cells.extend(result.table.cells)
         return cells
 
     cells = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
     print(f"linf BIM, eps = {EPSILON}, multiplier {TRANSFER_MULTIPLIER}")
-    print(format_transfer_table(cells, ["mnist", "cifar10"], ["AxL5", "AxAlx"]))
+    print(format_transfer_table(cells, ["synthetic-mnist", "synthetic-cifar10"], ["AxL5", "AxAlx"]))
     print("paper Table II reference:", TABLE2_TRANSFERABILITY)
 
     save_payload(

@@ -1,9 +1,14 @@
 """Shared fixtures and helpers for the benchmark harness.
 
 Every benchmark regenerates one of the paper's tables or figures.  The
-trained accurate models are cached on disk (see ``repro.models.zoo``), so the
-first benchmark run pays the training cost once and later runs only pay for
-adversarial-example generation and AxDNN inference.
+figure drivers are *declarative*: each builds an
+:class:`repro.experiments.ExperimentSpec` and runs it through the shared
+:class:`repro.experiments.Session`, so every expensive artifact — trained
+model weights, crafted adversarial suites, finished grids — is cached in
+the content-addressed artifact store (``$REPRO_ARTIFACT_DIR`` or
+``~/.cache/repro``).  The first run pays for training and crafting once;
+re-running any figure with unchanged knobs is a pure cache hit (zero
+training, zero adversarial crafting).
 
 Scale knobs (environment variables):
 
@@ -22,6 +27,10 @@ Scale knobs (environment variables):
     generation shards the crafting batch across that many *processes*
     (see ``repro.attacks.engine``; override the backend with
     ``REPRO_ATTACK_BACKEND=serial``).
+``REPRO_REQUIRE_CACHED``
+    When set, any benchmark step that would train or craft fails instead —
+    the hook CI uses to assert that a repeated run is served entirely from
+    the artifact store.
 
 The measured grids are also written as JSON to ``benchmarks/results/`` so the
 paper-vs-measured record in EXPERIMENTS.md can be regenerated.
@@ -38,7 +47,7 @@ import pytest
 
 from repro.analysis import format_robustness_grid
 from repro.attacks import PAPER_EPSILONS
-from repro.models.zoo import trained_alexnet, trained_ffnn, trained_lenet5
+from repro.experiments import ExperimentSpec, ModelSpec, Session, panel_spec
 from repro.robustness import RobustnessGrid, build_victims
 
 #: directory where benchmark result grids are dumped
@@ -58,6 +67,57 @@ EPSILONS: List[float] = list(PAPER_EPSILONS)
 #: paper labels of the LeNet-5 and AlexNet multiplier sets
 LENET_LABELS = [f"M{i}" for i in range(1, 10)]
 ALEXNET_LABELS = [f"A{i}" for i in range(1, 9)]
+
+#: source-model specs shared by every figure (the bundle configurations)
+LENET_MODEL = ModelSpec(
+    architecture="lenet5", dataset="mnist", n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS
+)
+ALEXNET_MODEL = ModelSpec(
+    architecture="alexnet",
+    dataset="cifar10",
+    n_train=max(N_TRAIN // 2, 400),
+    n_test=200,
+    epochs=N_EPOCHS + 2,
+)
+FFNN_MODEL = ModelSpec(
+    architecture="ffnn", dataset="mnist", n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS
+)
+
+
+def lenet_panel_spec(
+    name: str,
+    attack_keys: Sequence[str],
+    multipliers: Sequence[str] = None,
+    n_samples: int = None,
+) -> ExperimentSpec:
+    """A LeNet-5/MNIST robustness-panel spec (the Fig. 1/4/5/6 shape)."""
+    return panel_spec(
+        name,
+        attacks=attack_keys,
+        multipliers=multipliers if multipliers is not None else LENET_LABELS,
+        model=LENET_MODEL,
+        epsilons=EPSILONS,
+        n_samples=n_samples if n_samples is not None else N_MNIST_SAMPLES,
+    )
+
+
+def alexnet_panel_spec(name: str, attack_keys: Sequence[str]) -> ExperimentSpec:
+    """An AlexNet/CIFAR-10 robustness-panel spec (the Fig. 7 shape)."""
+    return panel_spec(
+        name,
+        attacks=attack_keys,
+        multipliers=ALEXNET_LABELS,
+        model=ALEXNET_MODEL,
+        epsilons=EPSILONS,
+        n_samples=N_CIFAR_SAMPLES,
+        calibration_samples=96,
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_session():
+    """The shared Session every figure driver runs through (store-cached)."""
+    return Session(workers=BENCH_WORKERS)
 
 
 def save_grid(name: str, grid: RobustnessGrid) -> None:
@@ -85,61 +145,41 @@ def report_grid(name: str, grid: RobustnessGrid, extra_info: Dict) -> None:
     extra_info[f"{name}_final_row"] = grid.values[-1, :].tolist()
 
 
-@pytest.fixture(scope="session")
-def lenet_bundle():
-    """Trained accurate LeNet-5 (AccL5), its dataset, victims and eval split."""
-    trained = trained_lenet5(n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS, seed=0)
+def _bundle(session: Session, model_spec: ModelSpec, labels, calibration, samples):
+    trained = session.resolve_model(model_spec)
     dataset = trained.dataset
-    calibration = dataset.train.images[:128]
-    victims = build_victims(trained.model, LENET_LABELS, calibration)
-    x = dataset.test.images[:N_MNIST_SAMPLES]
-    y = dataset.test.labels[:N_MNIST_SAMPLES]
-    return {
-        "trained": trained,
-        "model": trained.model,
-        "dataset": dataset,
-        "calibration": calibration,
-        "victims": victims,
-        "x": x,
-        "y": y,
-    }
-
-
-@pytest.fixture(scope="session")
-def alexnet_bundle():
-    """Trained accurate AlexNet (AccAlx), its dataset, victims and eval split."""
-    trained = trained_alexnet(
-        n_train=max(N_TRAIN // 2, 400), n_test=200, epochs=N_EPOCHS + 2, seed=0
+    calibration_batch = dataset.train.images[:calibration]
+    victims = (
+        build_victims(trained.model, labels, calibration_batch) if labels else {}
     )
-    dataset = trained.dataset
-    calibration = dataset.train.images[:96]
-    victims = build_victims(trained.model, ALEXNET_LABELS, calibration)
-    x = dataset.test.images[:N_CIFAR_SAMPLES]
-    y = dataset.test.labels[:N_CIFAR_SAMPLES]
     return {
         "trained": trained,
         "model": trained.model,
         "dataset": dataset,
-        "calibration": calibration,
+        "calibration": calibration_batch,
         "victims": victims,
-        "x": x,
-        "y": y,
+        "x": dataset.test.images[:samples],
+        "y": dataset.test.labels[:samples],
     }
 
 
 @pytest.fixture(scope="session")
-def ffnn_bundle():
+def lenet_bundle(experiment_session):
+    """Trained accurate LeNet-5 (AccL5), its dataset, victims and eval split."""
+    return _bundle(
+        experiment_session, LENET_MODEL, LENET_LABELS, 128, N_MNIST_SAMPLES
+    )
+
+
+@pytest.fixture(scope="session")
+def alexnet_bundle(experiment_session):
+    """Trained accurate AlexNet (AccAlx), its dataset, victims and eval split."""
+    return _bundle(
+        experiment_session, ALEXNET_MODEL, ALEXNET_LABELS, 96, N_CIFAR_SAMPLES
+    )
+
+
+@pytest.fixture(scope="session")
+def ffnn_bundle(experiment_session):
     """Trained accurate FFNN for the motivational case study (Fig. 1)."""
-    trained = trained_ffnn(n_train=N_TRAIN, n_test=400, epochs=N_EPOCHS, seed=0)
-    dataset = trained.dataset
-    calibration = dataset.train.images[:128]
-    x = dataset.test.images[:N_MNIST_SAMPLES]
-    y = dataset.test.labels[:N_MNIST_SAMPLES]
-    return {
-        "trained": trained,
-        "model": trained.model,
-        "dataset": dataset,
-        "calibration": calibration,
-        "x": x,
-        "y": y,
-    }
+    return _bundle(experiment_session, FFNN_MODEL, None, 128, N_MNIST_SAMPLES)

@@ -1,7 +1,9 @@
 """Adversarial approximation analysis: a miniature of the paper's Figure 4/5.
 
-Sweeps a chosen attack over the full perturbation-budget range and the whole
-LeNet-5 multiplier set (M1..M9), prints the resulting robustness heat-map and
+Declares one panel :class:`~repro.experiments.ExperimentSpec` sweeping a
+chosen attack over the full perturbation-budget range and the whole LeNet-5
+multiplier set (M1..M9), runs it through the cached
+:class:`~repro.experiments.Session`, prints the robustness heat-map and
 compares its shape against the digitised grid from the paper.
 
 Run:  python examples/adversarial_sweep.py --attack PGD_linf --samples 60
@@ -16,9 +18,8 @@ from repro.analysis import (
     format_robustness_grid,
     lenet_paper_grid,
 )
-from repro.attacks import PAPER_EPSILONS, get_attack
-from repro.models import trained_lenet5
-from repro.robustness import build_victims, multiplier_sweep
+from repro.attacks import PAPER_EPSILONS
+from repro.experiments import ModelSpec, Session, panel_spec
 
 
 def main() -> None:
@@ -30,23 +31,19 @@ def main() -> None:
         default="M1,M2,M3,M4,M5,M6,M7,M8,M9",
         help="comma-separated paper labels",
     )
+    parser.add_argument("--workers", default="auto", help="worker count (results invariant)")
     args = parser.parse_args()
 
-    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
-    dataset = trained.dataset
-    calibration = dataset.train.images[:128]
-    labels = args.multipliers.split(",")
-    victims = build_victims(trained.model, labels, calibration)
-
-    grid = multiplier_sweep(
-        trained.model,
-        victims,
-        get_attack(args.attack),
-        dataset.test.images[: args.samples],
-        dataset.test.labels[: args.samples],
-        PAPER_EPSILONS,
-        dataset_name=dataset.name,
+    spec = panel_spec(
+        name=f"adversarial_sweep_{args.attack}",
+        attacks=[args.attack],
+        multipliers=args.multipliers.split(","),
+        model=ModelSpec(architecture="lenet5", dataset="mnist", n_train=1500, n_test=300),
+        epsilons=PAPER_EPSILONS,
+        n_samples=args.samples,
     )
+    result = Session(workers=args.workers).run(spec)
+    grid = result.grids[0]
     print(format_robustness_grid(grid, title=f"measured: {args.attack}"))
 
     try:

@@ -21,7 +21,8 @@ import numpy as np
 from repro.attacks import get_attack
 from repro.axnn import build_axdnn
 from repro.defenses import AdversarialTrainer, AxEnsemble, FeatureSqueezingDefense
-from repro.models import build_lenet5, trained_lenet5
+from repro.experiments import ModelSpec, Session
+from repro.models import build_lenet5
 from repro.nn import Adam
 
 
@@ -34,7 +35,9 @@ def main() -> None:
     parser.add_argument("--adv-train-epochs", type=int, default=3)
     args = parser.parse_args()
 
-    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    trained = Session().resolve_model(
+        ModelSpec(architecture="lenet5", dataset="mnist", n_train=1500, n_test=300)
+    )
     dataset = trained.dataset
     calibration = dataset.train.images[:128]
     x = dataset.test.images[: args.samples]

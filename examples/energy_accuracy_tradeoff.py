@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.attacks import get_attack
-from repro.models import build_lenet5, multiply_counts, trained_lenet5
+from repro.experiments import AttackSpec, ModelSpec, Session, SweepSpec
+from repro.models import build_lenet5, multiply_counts
 from repro.multipliers import (
     energy_per_mac_pj,
     energy_saving_percent,
     error_report,
 )
-from repro.robustness import AdversarialSuite, build_victims
+from repro.robustness import build_victims
 
 
 def main() -> None:
@@ -29,16 +29,22 @@ def main() -> None:
     parser.add_argument("--samples", type=int, default=60)
     args = parser.parse_args()
 
-    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    session = Session()
+    model_spec = ModelSpec(architecture="lenet5", dataset="mnist", n_train=1500, n_test=300)
+    trained = session.resolve_model(model_spec)
     dataset = trained.dataset
     calibration = dataset.train.images[:128]
     labels = [f"M{i}" for i in range(1, 10)]
     victims = build_victims(trained.model, labels, calibration)
 
-    x = dataset.test.images[: args.samples]
-    y = dataset.test.labels[: args.samples]
-    suite = AdversarialSuite.generate(
-        trained.model, get_attack(args.attack), x, y, [0.0, args.epsilon]
+    # the suite comes from the artifact store when this configuration ran
+    # before; --epsilon 0 degenerates to the clean baseline alone
+    epsilons = (0.0,) if args.epsilon == 0.0 else (0.0, args.epsilon)
+    suite = session.resolve_suite(
+        model_spec,
+        AttackSpec(attack=args.attack),
+        SweepSpec(epsilons=epsilons, n_samples=args.samples),
+        trained=trained,
     )
 
     macs = sum(multiply_counts(build_lenet5()))
@@ -58,7 +64,7 @@ def main() -> None:
         report = error_report(victim.multiplier)
         results = suite.evaluate(victim, label)
         clean = results[0].robustness_percent
-        attacked = results[1].robustness_percent
+        attacked = results[-1].robustness_percent
         print(
             f"{label:>5} {name:>14} {report.mae_percent:>7.3f} "
             f"{energy_per_mac_pj(name):>7.3f} {energy_saving_percent(name):>8.1f} "

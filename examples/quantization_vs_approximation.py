@@ -11,6 +11,12 @@ The paper's conclusion — quantization improves robustness, approximation
 takes the improvement back — corresponds to the quantized curve sitting on or
 above the float curve, and the AxDNN curve sitting below both.
 
+This example uses the mid-level Session building blocks directly: the
+trained model and the crafted adversarial suite come from
+:meth:`Session.resolve_model` / :meth:`Session.resolve_suite`, so both are
+served from the artifact store on re-runs and shared with any other
+experiment using the same model/attack configuration.
+
 Run:  python examples/quantization_vs_approximation.py --attack PGD_linf
 """
 
@@ -20,10 +26,8 @@ import argparse
 
 import numpy as np
 
-from repro.attacks import get_attack
 from repro.axnn import build_axdnn, build_quantized_accurate
-from repro.models import trained_lenet5
-from repro.robustness import AdversarialSuite
+from repro.experiments import AttackSpec, ModelSpec, Session, SweepSpec
 
 
 def main() -> None:
@@ -36,17 +40,22 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
+    session = Session()
+    model_spec = ModelSpec(architecture="lenet5", dataset="mnist", n_train=1500, n_test=300)
+    trained = session.resolve_model(model_spec)
     dataset = trained.dataset
     calibration = dataset.train.images[:128]
-    x = dataset.test.images[: args.samples]
-    y = dataset.test.labels[: args.samples]
-    epsilons = [float(value) for value in args.epsilons.split(",")]
+    epsilons = tuple(float(value) for value in args.epsilons.split(","))
 
     quantized = build_quantized_accurate(trained.model, calibration)
     approximate = build_axdnn(trained.model, args.multiplier, calibration)
 
-    suite = AdversarialSuite.generate(trained.model, get_attack(args.attack), x, y, epsilons)
+    suite = session.resolve_suite(
+        model_spec,
+        AttackSpec(attack=args.attack),
+        SweepSpec(epsilons=epsilons, n_samples=args.samples),
+        trained=trained,
+    )
     float_curve = [r.robustness_percent for r in suite.evaluate(trained.model, "float")]
     quant_curve = [r.robustness_percent for r in suite.evaluate(quantized, "quantized")]
     approx_curve = [r.robustness_percent for r in suite.evaluate(approximate, "axdnn")]

@@ -1,12 +1,16 @@
-"""Quickstart: train an accurate DNN, build an AxDNN, attack both.
+"""Quickstart: declare an experiment, run it, read the robustness grid.
 
-This walks through the paper's full methodology (Fig. 3) in one script:
+This walks through the paper's full methodology (Fig. 3) with the
+declarative experiment API:
 
-1. train the accurate LeNet-5 on the synthetic MNIST substitute;
-2. quantize it to 8-bit fixed point (the "quantized accurate DNN") and build
-   an approximate version (AxDNN) with an EvoApprox-style multiplier;
-3. craft adversarial examples on the accurate float model;
-4. report the percentage robustness of every victim.
+1. an :class:`~repro.experiments.ExperimentSpec` describes the whole
+   pipeline — train the accurate LeNet-5 on the synthetic MNIST substitute,
+   quantize it, build the AxDNN victims, craft adversarial examples on the
+   accurate float model and evaluate percentage robustness;
+2. :class:`~repro.experiments.Session` runs the spec, caching the trained
+   weights, the crafted adversarial suite and the finished grid in the
+   content-addressed artifact store — re-running this script is a pure
+   cache hit.
 
 Run:  python examples/quickstart.py  [--samples 60] [--multiplier M8]
 """
@@ -15,11 +19,16 @@ from __future__ import annotations
 
 import argparse
 
-from repro.attacks import get_attack
-from repro.models import trained_lenet5
-from repro.multipliers import error_report, get_multiplier
-from repro.robustness import build_victims, multiplier_sweep
 from repro.analysis import format_robustness_grid
+from repro.experiments import (
+    AttackSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Session,
+    SweepSpec,
+    VictimSpec,
+)
+from repro.multipliers import error_report, get_multiplier
 
 
 def main() -> None:
@@ -30,34 +39,39 @@ def main() -> None:
     parser.add_argument(
         "--epsilons", default="0,0.05,0.1,0.25,0.5", help="comma-separated budgets"
     )
+    parser.add_argument("--workers", default="auto", help="worker count (results invariant)")
     args = parser.parse_args()
 
-    print("== 1. training the accurate LeNet-5 (cached after the first run) ==")
-    trained = trained_lenet5(n_train=1500, n_test=300, epochs=4)
-    print(f"clean test accuracy of AccL5: {trained.baseline_accuracy_percent:.1f}%")
+    print("== 1. declaring the experiment ==")
+    spec = ExperimentSpec(
+        name="quickstart",
+        model=ModelSpec(architecture="lenet5", dataset="mnist", n_train=1500, n_test=300),
+        victims=VictimSpec(multipliers=("M1", args.multiplier)),
+        attacks=(AttackSpec(attack=args.attack),),
+        sweep=SweepSpec(
+            epsilons=tuple(float(value) for value in args.epsilons.split(",")),
+            n_samples=args.samples,
+        ),
+    )
+    print(f"spec hash: {spec.content_hash()[:16]} (the artifact-store cache key)")
 
-    print("\n== 2. building the quantized accurate DNN and the AxDNN ==")
     multiplier = get_multiplier(args.multiplier)
     report = error_report(multiplier)
     print(
         f"multiplier {multiplier.name}: MAE = {report.mae_percent:.3f}%, "
         f"worst-case error = {report.wce_percent:.2f}%"
     )
-    dataset = trained.dataset
-    calibration = dataset.train.images[:128]
-    victims = build_victims(trained.model, ["M1", args.multiplier], calibration)
 
-    print("\n== 3./4. attacking and evaluating percentage robustness ==")
-    epsilons = [float(value) for value in args.epsilons.split(",")]
-    grid = multiplier_sweep(
-        trained.model,
-        victims,
-        get_attack(args.attack),
-        dataset.test.images[: args.samples],
-        dataset.test.labels[: args.samples],
-        epsilons,
-        dataset_name=dataset.name,
-    )
+    print("\n== 2. running it through the Session (cached after the first run) ==")
+    session = Session(workers=args.workers)
+    result = session.run(spec)
+    source = "artifact store" if result.from_cache else "computed"
+    print(f"result: {source} in {result.elapsed_s:.2f}s")
+    for source_name, accuracy in result.source_accuracies.items():
+        print(f"clean test accuracy of {source_name}: {accuracy * 100.0:.1f}%")
+
+    print("\n== 3. the percentage-robustness grid ==")
+    grid = result.grids[0]
     print(format_robustness_grid(grid, title=f"{args.attack} robustness [%]"))
     print(
         "\ncolumns: M1 = 8-bit quantized accurate DNN, "

@@ -2,7 +2,10 @@
 
 Adversarial examples are crafted on an accurate source architecture and
 evaluated on AxDNNs of both architectures — the scenario where the adversary
-knows neither the victim's inexactness nor its model structure.
+knows neither the victim's inexactness nor its model structure.  The whole
+study is one declarative ``kind="transfer"`` experiment: the session trains
+(or loads) both source models, crafts one suite per source and fills the
+table, caching every artifact.
 
 Run:  python examples/transferability_study.py --dataset mnist --epsilon 0.05
 """
@@ -12,9 +15,14 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis import TABLE2_TRANSFERABILITY, format_transfer_table
-from repro.attacks import get_attack
-from repro.models import trained_model
-from repro.robustness import build_victims, transferability_analysis
+from repro.experiments import (
+    AttackSpec,
+    ExperimentSpec,
+    ModelSpec,
+    Session,
+    SweepSpec,
+    VictimSpec,
+)
 
 
 def main() -> None:
@@ -23,31 +31,29 @@ def main() -> None:
     parser.add_argument("--epsilon", type=float, default=0.05)
     parser.add_argument("--samples", type=int, default=48)
     parser.add_argument("--multiplier", default="M4")
+    parser.add_argument("--workers", default="auto", help="worker count (results invariant)")
     args = parser.parse_args()
 
-    print(f"training LeNet-5 and AlexNet on synthetic {args.dataset} (cached)")
-    lenet = trained_model("lenet5", args.dataset, n_train=1500, epochs=4)
-    alexnet = trained_model("alexnet", args.dataset, n_train=1500, epochs=5)
-    dataset = lenet.dataset
-    calibration = dataset.train.images[:96]
-
-    victims = {
-        "AxL5": build_victims(lenet.model, [args.multiplier], calibration)[args.multiplier],
-        "AxAlx": build_victims(alexnet.model, [args.multiplier], calibration)[args.multiplier],
-    }
-    sources = {"AccL5": lenet.model, "AccAlx": alexnet.model}
-
-    cells = transferability_analysis(
-        sources,
-        victims,
-        get_attack("BIM_linf"),
-        dataset.test.images[: args.samples],
-        dataset.test.labels[: args.samples],
-        args.epsilon,
-        dataset_name=args.dataset,
+    spec = ExperimentSpec(
+        name=f"transferability_{args.dataset}",
+        kind="transfer",
+        model=ModelSpec(
+            architecture="lenet5", dataset=args.dataset, n_train=1500, epochs=4
+        ),
+        transfer_sources=(
+            ModelSpec(architecture="alexnet", dataset=args.dataset, n_train=1500, epochs=5),
+        ),
+        victims=VictimSpec(multipliers=(args.multiplier,), calibration_samples=96),
+        attacks=(AttackSpec(attack="BIM_linf"),),
+        sweep=SweepSpec(epsilons=(args.epsilon,), n_samples=args.samples),
     )
+    print("running transfer experiment (cached after the first run)")
+    result = Session(workers=args.workers).run(spec)
+    table = result.table
+
+    datasets = sorted({cell.dataset for cell in table.cells})
     print(f"\nlinf BIM, eps = {args.epsilon}  (cells are accuracy before/after attack)")
-    print(format_transfer_table(cells, [args.dataset], ["AxL5", "AxAlx"]))
+    print(format_transfer_table(table.cells, datasets, ["AxL5", "AxAlx"]))
     print("\npaper Table II (MNIST & CIFAR-10, eps = 0.05):")
     for (source, victim, dataset_name), (before, after) in TABLE2_TRANSFERABILITY.items():
         print(f"  {source:7s} -> {victim:6s} on {dataset_name:8s}: {before:.0f}/{after:.0f}")

@@ -32,6 +32,11 @@ experimental stack:
     sweeps, transferability and quantization analyses.
 ``repro.analysis``
     ASCII heat-map tables, digitised paper data and paper-vs-measured checks.
+``repro.experiments``
+    The declarative experiment API: frozen ``ExperimentSpec`` trees with
+    content hashes, a content-addressed artifact store, and the ``Session``
+    facade that runs specs with caching — the public entry point for
+    running anything in the repo.
 """
 
 from repro.version import __version__

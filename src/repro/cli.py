@@ -2,31 +2,207 @@
 
 Subcommands
 -----------
+``run``
+    Run a declarative experiment spec (JSON) through the
+    :class:`repro.experiments.Session` pipeline with artifact caching.
+``spec``
+    Emit a template experiment spec to edit and feed back into ``run``.
+``sweep``
+    Run a multiplier x epsilon robustness sweep and print the heat-map
+    (a shorthand for a one-attack ``run`` on LeNet-5).
+``screen``
+    Run the paper's error-resilience screening of candidate multipliers.
 ``multipliers``
     List the multiplier library with error metrics and energy figures.
 ``attacks``
     List the attack registry (the paper's Table I).
-``sweep``
-    Run a multiplier x epsilon robustness sweep and print the heat-map.
-``screen``
-    Run the paper's error-resilience screening of candidate multipliers.
 ``report``
     Generate EXPERIMENTS.md from the benchmark results directory.
 
 Examples::
 
-    python -m repro.cli multipliers
+    python -m repro.cli spec --name fig4a --attacks BIM_linf > fig4a.json
+    python -m repro.cli run --spec fig4a.json --workers auto
     python -m repro.cli sweep --attack BIM_linf --multipliers M1,M4,M8 --samples 40
     python -m repro.cli report --results benchmarks/results --output EXPERIMENTS.md
+
+Every subcommand that performs inference or crafting takes ``--workers``
+(a positive int or ``auto``); results are invariant to it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.version import __version__
+
+
+def add_workers_argument(parser: argparse.ArgumentParser, default: str = None) -> None:
+    """Attach the shared ``--workers`` option.
+
+    The raw value (``"auto"`` or an int spelling) is resolved by
+    ``repro.nn.runtime.resolve_workers`` downstream — every subcommand that
+    runs inference or crafting routes through this one helper so the flag
+    behaves identically everywhere.
+    """
+    parser.add_argument(
+        "--workers",
+        default=default,
+        help="worker count for attack generation (processes) and victim "
+        "evaluation (threads): a positive int or 'auto' (one per core); "
+        "results are invariant to it",
+    )
+
+
+def _progress_printer(event) -> None:
+    print(f"[{event.stage}:{event.status}] {event.detail}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import format_robustness_grid, format_transfer_table
+    from repro.experiments import ExperimentSpec, Session
+
+    spec = ExperimentSpec.load(args.spec)
+    session = Session(
+        store=args.store,
+        workers=args.workers,
+        progress=_progress_printer if args.verbose else None,
+        require_cached=True if args.require_cached else None,
+    )
+    result = session.run(spec)
+
+    source = "artifact store" if result.from_cache else "computed"
+    print(f"experiment {spec.name!r} ({spec.kind}): {source} in {result.elapsed_s:.2f}s")
+    for source_name, accuracy in sorted(result.source_accuracies.items()):
+        print(f"  source {source_name}: clean test accuracy {accuracy * 100.0:.1f}%")
+    for grid in result.grids:
+        print()
+        print(format_robustness_grid(grid, title=f"{spec.name}: {grid.attack_key}"))
+    if result.study is not None:
+        print()
+        for key, comparison in sorted(result.study.comparisons.items()):
+            gains = comparison.quantization_gain()
+            print(
+                f"  {key:10s} mean quantization gain: "
+                f"{sum(gains) / len(gains):+.2f} points"
+            )
+        print(
+            f"  overall mean quantization gain: "
+            f"{result.study.mean_quantization_gain():+.2f} points"
+        )
+    if result.table is not None:
+        datasets = sorted({cell.dataset for cell in result.table.cells})
+        victims = list(dict.fromkeys(cell.victim for cell in result.table.cells))
+        print()
+        print(f"transferability ({result.table.attack_key}, eps={result.table.epsilon}):")
+        print(format_transfer_table(result.table.cells, datasets, victims))
+    stats = session.store.stats
+    print(
+        f"\nartifact store {session.store.root}: "
+        f"{stats.hits} hit(s), {stats.misses} miss(es), {stats.puts} put(s)"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        AttackSpec,
+        ExperimentSpec,
+        ModelSpec,
+        SweepSpec,
+        VictimSpec,
+    )
+
+    spec = ExperimentSpec(
+        name=args.name,
+        kind=args.kind,
+        model=ModelSpec(
+            architecture=args.architecture,
+            dataset=args.dataset,
+            n_train=args.train,
+            n_test=max(args.samples, 300),
+            epochs=args.epochs,
+        ),
+        victims=VictimSpec(multipliers=tuple(args.multipliers.split(","))),
+        attacks=tuple(AttackSpec(attack=key) for key in args.attacks.split(",")),
+        sweep=SweepSpec(
+            epsilons=tuple(float(value) for value in args.epsilons.split(",")),
+            n_samples=args.samples,
+        ),
+    )
+    text = spec.to_json()
+    if args.output and args.output != "-":
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} (spec hash {spec.content_hash()[:16]})")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_robustness_grid
+    from repro.experiments import ModelSpec, Session, panel_spec
+
+    spec = panel_spec(
+        f"cli_sweep_{args.attack}",
+        attacks=[args.attack],
+        multipliers=args.multipliers.split(","),
+        model=ModelSpec(
+            architecture="lenet5",
+            dataset="mnist",
+            n_train=args.train,
+            n_test=300,
+            epochs=args.epochs,
+        ),
+        epsilons=[float(value) for value in args.epsilons.split(",")],
+        n_samples=args.samples,
+    )
+    session = Session(workers=args.workers)
+    result = session.run(spec)
+    print(format_robustness_grid(result.grids[0]))
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.experiments import ModelSpec, Session
+    from repro.multipliers.selection import select_resilient_multipliers
+
+    session = Session(workers=args.workers)
+    trained = session.resolve_model(
+        ModelSpec(
+            architecture="lenet5",
+            dataset="mnist",
+            n_train=args.train,
+            n_test=300,
+            epochs=args.epochs,
+        )
+    )
+    dataset = trained.dataset
+    report = select_resilient_multipliers(
+        trained.model,
+        args.candidates.split(","),
+        dataset.train.images[:128],
+        dataset.test.images[: args.samples],
+        dataset.test.labels[: args.samples],
+        accuracy_threshold_percent=args.threshold,
+        workers=args.workers,
+    )
+    print(f"accuracy threshold: {report.threshold_percent:.1f}%")
+    for result in report.results:
+        status = "keep" if result.accepted else "drop"
+        print(
+            f"  [{status}] {result.name:>16}  MAE={result.mae_percent:6.3f}%  "
+            f"accuracy={result.clean_accuracy_percent:5.1f}%"
+        )
+    return 0
 
 
 def _cmd_multipliers(args: argparse.Namespace) -> int:
@@ -72,55 +248,6 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis import format_robustness_grid
-    from repro.attacks import get_attack
-    from repro.models import trained_lenet5
-    from repro.robustness import build_victims, multiplier_sweep
-
-    trained = trained_lenet5(n_train=args.train, n_test=300, epochs=args.epochs)
-    dataset = trained.dataset
-    calibration = dataset.train.images[:128]
-    victims = build_victims(trained.model, args.multipliers.split(","), calibration)
-    epsilons = [float(value) for value in args.epsilons.split(",")]
-    grid = multiplier_sweep(
-        trained.model,
-        victims,
-        get_attack(args.attack),
-        dataset.test.images[: args.samples],
-        dataset.test.labels[: args.samples],
-        epsilons,
-        dataset.name,
-        workers=args.workers,
-    )
-    print(format_robustness_grid(grid))
-    return 0
-
-
-def _cmd_screen(args: argparse.Namespace) -> int:
-    from repro.models import trained_lenet5
-    from repro.multipliers.selection import select_resilient_multipliers
-
-    trained = trained_lenet5(n_train=args.train, n_test=300, epochs=args.epochs)
-    dataset = trained.dataset
-    report = select_resilient_multipliers(
-        trained.model,
-        args.candidates.split(","),
-        dataset.train.images[:128],
-        dataset.test.images[: args.samples],
-        dataset.test.labels[: args.samples],
-        accuracy_threshold_percent=args.threshold,
-    )
-    print(f"accuracy threshold: {report.threshold_percent:.1f}%")
-    for result in report.results:
-        status = "keep" if result.accepted else "drop"
-        print(
-            f"  [{status}] {result.name:>16}  MAE={result.mae_percent:6.3f}%  "
-            f"accuracy={result.clean_accuracy_percent:5.1f}%"
-        )
-    return 0
-
-
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report_generator import write_experiments_markdown
 
@@ -137,13 +264,48 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command")
 
-    mult = subparsers.add_parser("multipliers", help="list the multiplier library")
-    mult.add_argument("--names", default="", help="comma-separated subset to show")
-    mult.set_defaults(func=_cmd_multipliers)
+    run = subparsers.add_parser(
+        "run", help="run a declarative experiment spec with artifact caching"
+    )
+    run.add_argument("--spec", required=True, help="path to an experiment spec JSON file")
+    run.add_argument(
+        "--store",
+        default=None,
+        help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
+    )
+    run.add_argument("--output", default="", help="also write the result JSON here")
+    run.add_argument(
+        "--require-cached",
+        action="store_true",
+        help="fail instead of training/crafting (assert the store serves the run)",
+    )
+    run.add_argument(
+        "--verbose", action="store_true", help="print per-stage cache hit/compute events"
+    )
+    add_workers_argument(run)
+    run.set_defaults(func=_cmd_run)
 
-    attacks = subparsers.add_parser("attacks", help="list the attack registry (Table I)")
-    attacks.add_argument("--extended", action="store_true", help="also list extension attacks")
-    attacks.set_defaults(func=_cmd_attacks)
+    spec = subparsers.add_parser(
+        "spec", help="emit an experiment spec template for `run`"
+    )
+    spec.add_argument("--name", default="experiment")
+    spec.add_argument(
+        "--kind", default="panel", choices=["panel", "quantization", "transfer"]
+    )
+    spec.add_argument("--architecture", default="lenet5")
+    spec.add_argument("--dataset", default="mnist")
+    spec.add_argument("--attacks", default="BIM_linf", help="comma-separated attack keys")
+    spec.add_argument(
+        "--multipliers",
+        default="M1,M2,M3,M4,M5,M6,M7,M8,M9",
+        help="comma-separated multiplier labels",
+    )
+    spec.add_argument("--epsilons", default="0,0.05,0.1,0.25,0.5")
+    spec.add_argument("--samples", type=int, default=60)
+    spec.add_argument("--train", type=int, default=1500)
+    spec.add_argument("--epochs", type=int, default=4)
+    spec.add_argument("--output", default="-", help="output path ('-' for stdout)")
+    spec.set_defaults(func=_cmd_spec)
 
     sweep = subparsers.add_parser("sweep", help="run a robustness sweep on LeNet-5")
     sweep.add_argument("--attack", default="BIM_linf")
@@ -152,13 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--samples", type=int, default=40)
     sweep.add_argument("--train", type=int, default=1500)
     sweep.add_argument("--epochs", type=int, default=4)
-    sweep.add_argument(
-        "--workers",
-        default="auto",
-        help="worker count for attack generation (processes) and victim "
-        "evaluation (threads): a positive int or 'auto' (one per core); "
-        "results are invariant to it",
-    )
+    add_workers_argument(sweep, default="auto")
     sweep.set_defaults(func=_cmd_sweep)
 
     screen = subparsers.add_parser(
@@ -169,7 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
     screen.add_argument("--samples", type=int, default=60)
     screen.add_argument("--train", type=int, default=1500)
     screen.add_argument("--epochs", type=int, default=4)
+    add_workers_argument(screen, default="auto")
     screen.set_defaults(func=_cmd_screen)
+
+    mult = subparsers.add_parser("multipliers", help="list the multiplier library")
+    mult.add_argument("--names", default="", help="comma-separated subset to show")
+    mult.set_defaults(func=_cmd_multipliers)
+
+    attacks = subparsers.add_parser("attacks", help="list the attack registry (Table I)")
+    attacks.add_argument("--extended", action="store_true", help="also list extension attacks")
+    attacks.set_defaults(func=_cmd_attacks)
 
     report = subparsers.add_parser("report", help="generate EXPERIMENTS.md from benchmark results")
     report.add_argument("--results", default="benchmarks/results")

@@ -23,3 +23,13 @@ class UnknownComponentError(ReproError, KeyError):
 
 class NotFittedError(ReproError):
     """Raised when inference is attempted on an untrained/unbuilt component."""
+
+
+class MissingArtifactError(ReproError):
+    """Raised when a cache-only session would need to train or craft.
+
+    Emitted by :class:`repro.experiments.session.Session` when
+    ``require_cached`` is set (e.g. via ``REPRO_REQUIRE_CACHED=1``) and a
+    requested artifact is not in the store — the mechanism CI uses to assert
+    that a repeated run is served entirely from the artifact store.
+    """

@@ -1,0 +1,73 @@
+"""Declarative experiment API: specs, the artifact store and the session.
+
+This package is the public entry point for running anything in the repo::
+
+    from repro.experiments import ExperimentSpec, ModelSpec, Session
+
+    spec = ExperimentSpec(
+        name="fig4a",
+        model=ModelSpec(architecture="lenet5", dataset="mnist"),
+        victims=VictimSpec(multipliers=tuple(f"M{i}" for i in range(1, 10))),
+        attacks=(AttackSpec(attack="BIM_linf"),),
+    )
+    result = Session().run(spec, workers="auto")
+    print(result.grids[0].values)
+
+Specs are frozen, hashable-by-content dataclasses
+(:mod:`repro.experiments.spec`); artifacts are cached in a
+content-addressed store (:mod:`repro.experiments.store`); the
+:class:`~repro.experiments.session.Session` resolves the spec DAG and
+reuses every cached artifact (:mod:`repro.experiments.session`).
+"""
+
+from repro.experiments.spec import (
+    ARCHITECTURES,
+    DATASETS,
+    EXPERIMENT_KINDS,
+    SPEC_SCHEMA_VERSION,
+    AttackSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SweepSpec,
+    VictimSpec,
+    canonical_json,
+    content_hash,
+    panel_spec,
+)
+from repro.experiments.store import (
+    STORE_ENV_VAR,
+    ArtifactEntry,
+    ArtifactStore,
+    StoreStats,
+    default_store_root,
+)
+from repro.experiments.session import (
+    REQUIRE_CACHED_ENV_VAR,
+    ExperimentResult,
+    ProgressEvent,
+    Session,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ModelSpec",
+    "VictimSpec",
+    "AttackSpec",
+    "SweepSpec",
+    "panel_spec",
+    "canonical_json",
+    "content_hash",
+    "ARCHITECTURES",
+    "DATASETS",
+    "EXPERIMENT_KINDS",
+    "SPEC_SCHEMA_VERSION",
+    "ArtifactStore",
+    "ArtifactEntry",
+    "StoreStats",
+    "default_store_root",
+    "STORE_ENV_VAR",
+    "Session",
+    "ExperimentResult",
+    "ProgressEvent",
+    "REQUIRE_CACHED_ENV_VAR",
+]

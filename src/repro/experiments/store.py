@@ -1,0 +1,308 @@
+"""Content-addressed on-disk artifact store.
+
+Artifacts — trained model weights, crafted adversarial suites, finished
+result grids — are cached under a root directory keyed by *(kind, digest)*,
+where ``digest`` is the spec content hash that produced the artifact
+(:mod:`repro.experiments.spec`).  Because the digest covers everything that
+determines the computation (architecture, dataset parameters, training
+budget, seeds, attack parameters, budgets), a hit is always safe to reuse
+and sharing a store between runs, processes or CI jobs is free.
+
+Layout::
+
+    <root>/<kind>/<digest[:2]>/<digest>.npz        array artifacts
+    <root>/<kind>/<digest[:2]>/<digest>.json       JSON artifacts
+    <root>/<kind>/<digest[:2]>/<digest>.meta.json  provenance sidecar
+
+The root defaults to ``$REPRO_ARTIFACT_DIR`` when set, else
+``~/.cache/repro``.  Writes are atomic (temp file + ``os.replace``), so a
+crashed or concurrent writer never leaves a torn artifact; readers treat
+unreadable entries as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import zipfile
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: environment variable overriding the default store root
+STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def default_store_root() -> str:
+    """The artifact-store root: ``$REPRO_ARTIFACT_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/put counters of one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict:
+        """The counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One stored artifact: its key, payload size and modification time."""
+
+    kind: str
+    digest: str
+    path: str
+    size_bytes: int
+    mtime: float
+
+
+def _validate_key(kind: str, digest: str) -> None:
+    if not isinstance(kind, str) or not kind or "/" in kind or kind.startswith("."):
+        raise ConfigurationError(f"artifact kind must be a simple name, got {kind!r}")
+    if (
+        not isinstance(digest, str)
+        or len(digest) < 8
+        or not set(digest) <= _HEX_DIGITS
+    ):
+        raise ConfigurationError(
+            f"artifact digest must be a lowercase hex string, got {digest!r}"
+        )
+
+
+class ArtifactStore:
+    """Content-addressed artifact cache rooted at a directory.
+
+    Array artifacts travel as ``dict[str, np.ndarray]`` (stored as ``.npz``);
+    JSON artifacts as plain JSON-serialisable payloads.  Every ``put`` may
+    attach a ``meta`` payload (typically the producing spec's ``to_dict()``),
+    written as a sidecar for provenance and debugging.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = os.path.abspath(root if root is not None else default_store_root())
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        os.makedirs(self.root, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    def _path(self, kind: str, digest: str, extension: str) -> str:
+        _validate_key(kind, digest)
+        return os.path.join(self.root, kind, digest[:2], f"{digest}{extension}")
+
+    def _payload_path(self, kind: str, digest: str) -> Optional[str]:
+        for extension in (".npz", ".json"):
+            path = self._path(kind, digest, extension)
+            if os.path.exists(path):
+                return path
+        return None
+
+    @staticmethod
+    def _atomic_write(path: str, writer) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                writer(handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def _write_meta(self, kind: str, digest: str, meta: Optional[dict]) -> None:
+        if meta is None:
+            return
+        payload = {"kind": kind, "digest": digest, "created": time.time(), "meta": meta}
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._atomic_write(
+            self._path(kind, digest, ".meta.json"), lambda handle: handle.write(body)
+        )
+
+    # ------------------------------------------------------------------- API
+    def has(self, kind: str, digest: str) -> bool:
+        """Whether an artifact exists for *(kind, digest)* (does not count stats)."""
+        return self._payload_path(kind, digest) is not None
+
+    def get_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load an array artifact, or ``None`` on a miss."""
+        path = self._path(kind, digest, ".npz")
+        with self._lock:
+            if not os.path.exists(path):
+                self.stats.misses += 1
+                return None
+            try:
+                with np.load(path) as archive:
+                    arrays = {key: archive[key] for key in archive.files}
+            except (OSError, ValueError, zipfile.BadZipFile, zlib.error):
+                # torn or corrupted entry: drop it and report a miss
+                self.stats.misses += 1
+                self._unlink_entry(kind, digest)
+                return None
+            self.stats.hits += 1
+            return arrays
+
+    def put_arrays(
+        self,
+        kind: str,
+        digest: str,
+        arrays: Dict[str, np.ndarray],
+        meta: Optional[dict] = None,
+    ) -> str:
+        """Store an array artifact; returns the payload path."""
+        if not arrays:
+            raise ConfigurationError("array artifacts must contain at least one array")
+        path = self._path(kind, digest, ".npz")
+        with self._lock:
+            self._atomic_write(path, lambda handle: np.savez(handle, **arrays))
+            self._write_meta(kind, digest, meta)
+            self.stats.puts += 1
+        return path
+
+    def get_json(self, kind: str, digest: str):
+        """Load a JSON artifact, or ``None`` on a miss."""
+        path = self._path(kind, digest, ".json")
+        with self._lock:
+            if not os.path.exists(path):
+                self.stats.misses += 1
+                return None
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                self.stats.misses += 1
+                self._unlink_entry(kind, digest)
+                return None
+            self.stats.hits += 1
+            return payload
+
+    def put_json(self, kind: str, digest: str, payload, meta: Optional[dict] = None) -> str:
+        """Store a JSON artifact; returns the payload path."""
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        path = self._path(kind, digest, ".json")
+        with self._lock:
+            self._atomic_write(path, lambda handle: handle.write(body))
+            self._write_meta(kind, digest, meta)
+            self.stats.puts += 1
+        return path
+
+    def get_meta(self, kind: str, digest: str) -> Optional[dict]:
+        """Load the provenance sidecar of an artifact, if one was written."""
+        path = self._path(kind, digest, ".meta.json")
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------ management
+    def _unlink_entry(self, kind: str, digest: str) -> bool:
+        removed = False
+        for extension in (".npz", ".json", ".meta.json"):
+            path = self._path(kind, digest, extension)
+            if os.path.exists(path):
+                os.unlink(path)
+                removed = True
+        return removed
+
+    def evict(self, kind: str, digest: str) -> bool:
+        """Remove one artifact (and its sidecar); True when something was removed."""
+        with self._lock:
+            removed = self._unlink_entry(kind, digest)
+            if removed:
+                self.stats.evictions += 1
+            return removed
+
+    def clear(self) -> int:
+        """Remove every artifact in the store; returns the number evicted."""
+        evicted = 0
+        for entry in self.entries():
+            if self.evict(entry.kind, entry.digest):
+                evicted += 1
+        return evicted
+
+    def entries(self) -> List[ArtifactEntry]:
+        """Every stored artifact, oldest first."""
+        found: List[ArtifactEntry] = []
+        for kind in sorted(os.listdir(self.root)) if os.path.isdir(self.root) else []:
+            kind_dir = os.path.join(self.root, kind)
+            if not os.path.isdir(kind_dir):
+                continue
+            for shard in sorted(os.listdir(kind_dir)):
+                shard_dir = os.path.join(kind_dir, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in sorted(os.listdir(shard_dir)):
+                    if name.endswith(".meta.json") or name.startswith(".tmp-"):
+                        continue
+                    digest, _ = os.path.splitext(name)
+                    path = os.path.join(shard_dir, name)
+                    try:
+                        stat = os.stat(path)
+                    except OSError:  # pragma: no cover - raced removal
+                        continue
+                    found.append(
+                        ArtifactEntry(
+                            kind=kind,
+                            digest=digest,
+                            path=path,
+                            size_bytes=int(stat.st_size),
+                            mtime=stat.st_mtime,
+                        )
+                    )
+        found.sort(key=lambda entry: (entry.mtime, entry.kind, entry.digest))
+        return found
+
+    def size_bytes(self) -> int:
+        """Total payload size of the store."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def prune(self, max_bytes: int) -> List[ArtifactEntry]:
+        """Evict oldest artifacts until the store fits ``max_bytes``.
+
+        Returns the evicted entries (oldest first).  ``max_bytes=0`` empties
+        the store.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        evicted: List[ArtifactEntry] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            if self.evict(entry.kind, entry.digest):
+                total -= entry.size_bytes
+                evicted.append(entry)
+        return evicted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={self.root!r})"

@@ -65,6 +65,7 @@ class AdversarialSuite:
         epsilons: Sequence[float],
         workers: WorkerSpec = None,
         engine: Optional[AttackEngine] = None,
+        seed: int = None,
     ) -> "AdversarialSuite":
         """Craft adversarial examples on the source model for every budget.
 
@@ -73,6 +74,9 @@ class AdversarialSuite:
         (single-step gradients, noise draws) is paid once, and the batch is
         sharded over worker processes when ``workers > 1``.  Pass a
         pre-configured ``engine`` to override backend or shard size.
+        ``seed`` overrides the attack's own seed for this crafting pass —
+        the declarative experiment API threads its experiment seed through
+        here so identical specs always produce identical cached artifacts.
         """
         if len(epsilons) == 0:
             raise ConfigurationError("epsilons must contain at least one budget")
@@ -87,7 +91,7 @@ class AdversarialSuite:
         if engine is None:
             engine = AttackEngine(source_model, workers=workers)
         suite.adversarial.update(
-            engine.generate_sweep(attack, images, labels, suite.epsilons)
+            engine.generate_sweep(attack, images, labels, suite.epsilons, seed=seed)
         )
         return suite
 

@@ -1,4 +1,12 @@
-"""Result records and JSON persistence for robustness experiments."""
+"""Result records and JSON persistence for robustness experiments.
+
+The on-disk JSON format is versioned: :meth:`ReproductionReport.save`
+writes ``{"schema_version": 2, "experiments": {...}}``; :meth:`load`
+accepts the current version, transparently upgrades legacy version-1
+documents (a bare ``{experiment_id: record}`` mapping with no version
+field), and raises an explicit error on unknown future versions so stored
+results survive API changes instead of mis-parsing silently.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import ConfigurationError
 from repro.robustness.sweep import RobustnessGrid
+
+#: current version of the report JSON schema
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -44,21 +56,46 @@ class ReproductionReport:
         return self.records.get(experiment_id)
 
     def to_dict(self) -> dict:
-        return {key: record.to_dict() for key, record in self.records.items()}
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "experiments": {
+                key: record.to_dict() for key, record in self.records.items()
+            },
+        }
 
     def save(self, path: str) -> None:
-        """Write the report as JSON (creating parent directories)."""
+        """Write the report as versioned JSON (creating parent directories)."""
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2)
 
     @classmethod
     def load(cls, path: str) -> "ReproductionReport":
-        """Load a report saved by :meth:`save`."""
+        """Load a report saved by :meth:`save` (any supported schema version).
+
+        Version-1 documents (written before the schema was versioned) are a
+        bare ``{experiment_id: record}`` mapping and are upgraded on read.
+        Unknown future versions raise :class:`ConfigurationError` instead of
+        guessing at the layout.
+        """
         with open(path) as handle:
             payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"report document must be a JSON object, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version", 1)
+        if version == 1:
+            records = payload
+        elif version == REPORT_SCHEMA_VERSION:
+            records = payload.get("experiments", {})
+        else:
+            raise ConfigurationError(
+                f"unknown report schema_version {version!r}; this build reads "
+                f"versions 1..{REPORT_SCHEMA_VERSION}"
+            )
         report = cls()
-        for experiment_id, record_dict in payload.items():
+        for experiment_id, record_dict in records.items():
             record = ExperimentRecord(
                 experiment_id=record_dict["experiment_id"],
                 description=record_dict["description"],

@@ -105,6 +105,42 @@ def build_victims(
     return victims
 
 
+def grid_from_suite(
+    suite: AdversarialSuite,
+    victims: Dict[str, "AxModel"],
+    dataset_name: str = "dataset",
+    source_name: str = "source",
+    workers: WorkerSpec = "auto",
+) -> RobustnessGrid:
+    """Robustness grid of every victim on a pre-generated adversarial suite.
+
+    This is the evaluation half of :func:`multiplier_sweep`: the expensive
+    crafting step is already done (or was served from the artifact store —
+    see :mod:`repro.experiments`), so only victim inference is paid here.
+    Victim evaluation shards prediction batches across worker *threads*; the
+    grid is bit-identical for every worker count.
+    """
+    if not victims:
+        raise ConfigurationError("at least one victim AxDNN is required")
+    victim_labels = list(victims)
+    values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
+    for column, label in enumerate(victim_labels):
+        results = suite.evaluate(victims[label], label, workers=workers)
+        for row, result in enumerate(results):
+            values[row, column] = result.robustness_percent
+    return RobustnessGrid(
+        attack_key=suite.attack_key,
+        dataset_name=dataset_name,
+        epsilons=list(suite.epsilons),
+        victim_labels=victim_labels,
+        values=values,
+        metadata={
+            "source_model": source_name,
+            "n_samples": str(suite.labels.shape[0]),
+        },
+    )
+
+
 def multiplier_sweep(
     source_model: Sequential,
     victims: Dict[str, AxModel],
@@ -114,6 +150,7 @@ def multiplier_sweep(
     epsilons: Sequence[float],
     dataset_name: str = "dataset",
     workers: WorkerSpec = "auto",
+    seed: int = None,
 ) -> RobustnessGrid:
     """Robustness grid of every victim under one attack over a budget sweep.
 
@@ -123,26 +160,20 @@ def multiplier_sweep(
     in one amortised engine pass, sharded over worker *processes*; victim
     evaluation shards prediction batches across worker *threads*.  Both use
     ``workers`` (default one per core) and the grid is bit-identical for
-    every worker count.
+    every worker count.  ``seed`` overrides the attack's own crafting seed
+    (the hook the declarative experiment API uses for artifact determinism).
     """
     if not victims:
         raise ConfigurationError("at least one victim AxDNN is required")
     suite = AdversarialSuite.generate(
-        source_model, attack, images, labels, epsilons, workers=workers
+        source_model, attack, images, labels, epsilons, workers=workers, seed=seed
     )
-    victim_labels = list(victims)
-    values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
-    for column, label in enumerate(victim_labels):
-        results = suite.evaluate(victims[label], label, workers=workers)
-        for row, result in enumerate(results):
-            values[row, column] = result.robustness_percent
-    return RobustnessGrid(
-        attack_key=attack.key(),
+    return grid_from_suite(
+        suite,
+        victims,
         dataset_name=dataset_name,
-        epsilons=suite.epsilons,
-        victim_labels=victim_labels,
-        values=values,
-        metadata={"source_model": source_model.name, "n_samples": str(labels.shape[0])},
+        source_name=source_model.name,
+        workers=workers,
     )
 
 

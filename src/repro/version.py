@@ -1,3 +1,10 @@
-"""Single source of truth for the package version."""
+"""Single source of truth for the package version.
 
-__version__ = "1.0.0"
+The version also salts every artifact-store content hash
+(:func:`repro.experiments.spec.content_hash`): an artifact is only valid
+for the code that produced it, so **bump this on any release that changes
+numerical behaviour** (training, attacks, kernels, quantization) to
+invalidate stale stores.
+"""
+
+__version__ = "1.1.0"

@@ -114,3 +114,89 @@ class TestCLI:
         assert main(["report", "--results", results_dir, "--output", output_path]) == 0
         assert os.path.exists(output_path)
         assert "wrote" in capsys.readouterr().out
+
+    def test_workers_flag_shared_by_inference_subcommands(self):
+        parser = build_parser()
+        for command in ("run", "sweep", "screen"):
+            base = ["--spec", "x.json"] if command == "run" else []
+            args = parser.parse_args([command, *base, "--workers", "2"])
+            assert args.workers == "2"
+
+
+class TestExperimentCommands:
+    """The declarative `spec` and `run` subcommands."""
+
+    @pytest.fixture()
+    def tiny_spec_file(self, tmp_path, monkeypatch):
+        from repro.experiments import (
+            AttackSpec,
+            ExperimentSpec,
+            ModelSpec,
+            SweepSpec,
+            VictimSpec,
+        )
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "store"))
+        spec = ExperimentSpec(
+            name="cli-tiny",
+            model=ModelSpec(
+                architecture="lenet5", dataset="mnist", n_train=64, n_test=32, epochs=1
+            ),
+            victims=VictimSpec(multipliers=("M1",), calibration_samples=32),
+            attacks=(AttackSpec(attack="FGM_linf"),),
+            sweep=SweepSpec(epsilons=(0.0, 0.1), n_samples=8),
+        )
+        path = str(tmp_path / "spec.json")
+        spec.save(path)
+        return path
+
+    def test_spec_command_emits_loadable_template(self, tmp_path, capsys):
+        from repro.experiments import ExperimentSpec
+
+        output = str(tmp_path / "template.json")
+        assert main(["spec", "--name", "demo", "--output", output]) == 0
+        spec = ExperimentSpec.load(output)
+        assert spec.name == "demo"
+        assert spec.kind == "panel"
+
+    def test_spec_command_stdout(self, capsys):
+        assert main(["spec", "--attacks", "BIM_linf"]) == 0
+        out = capsys.readouterr().out
+        assert '"spec_version"' in out
+        assert "BIM_linf" in out
+
+    def test_run_twice_is_bit_identical_and_cached(
+        self, tiny_spec_file, tmp_path, capsys
+    ):
+        first_out = str(tmp_path / "first.json")
+        second_out = str(tmp_path / "second.json")
+        assert main(["run", "--spec", tiny_spec_file, "--output", first_out]) == 0
+        assert "computed" in capsys.readouterr().out
+        # the second run must be served from the store — --require-cached
+        # turns any training/crafting into a hard failure
+        assert (
+            main(
+                [
+                    "run",
+                    "--spec",
+                    tiny_spec_file,
+                    "--require-cached",
+                    "--output",
+                    second_out,
+                ]
+            )
+            == 0
+        )
+        assert "artifact store" in capsys.readouterr().out
+        with open(first_out) as handle:
+            first = json.load(handle)
+        with open(second_out) as handle:
+            second = json.load(handle)
+        assert first == second
+
+    def test_run_missing_spec_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "store"))
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            main(["run", "--spec", str(tmp_path / "missing.json")])

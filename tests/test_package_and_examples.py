@@ -28,6 +28,7 @@ class TestPackage:
         import repro.circuits
         import repro.datasets
         import repro.defenses
+        import repro.experiments
         import repro.models
         import repro.multipliers
         import repro.nn
@@ -39,10 +40,11 @@ class TestPackage:
     def test_public_init_exports_resolve(self):
         # every name advertised in __all__ must exist on the module
         import repro.attacks as attacks
+        import repro.experiments as experiments
         import repro.multipliers as multipliers
         import repro.nn as nn
 
-        for module in (attacks, multipliers, nn):
+        for module in (attacks, experiments, multipliers, nn):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 
