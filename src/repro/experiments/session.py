@@ -80,9 +80,11 @@ ProgressCallback = Callable[["ProgressEvent"], None]
 class ProgressEvent:
     """One progress notification emitted during :meth:`Session.run`.
 
-    ``stage`` is one of ``"model"``, ``"suite"``, ``"victims"``,
-    ``"evaluate"`` or ``"result"``; ``status`` is ``"hit"`` (served from the
-    store), ``"compute"`` (paid for) or ``"store"`` (written back).
+    ``stage`` is one of ``"model"``, ``"train"`` (one event per training
+    epoch, carrying loss/accuracy in ``detail``), ``"suite"``,
+    ``"victims"``, ``"evaluate"`` or ``"result"``; ``status`` is ``"hit"``
+    (served from the store), ``"compute"`` (paid for) or ``"store"``
+    (written back).
     """
 
     stage: str
@@ -198,6 +200,17 @@ def _source_name(model_spec: ModelSpec) -> str:
 
 
 def _escape(key: str) -> str:
+    # '/' -> '__' is only reversible when the raw key holds no '__'; a
+    # user-named layer like "fc__out" would round-trip to "fc/out/weight",
+    # fail load_state_dict on every cache read and silently retrain every
+    # run — refuse loudly instead.  (Auto-named layers are positional
+    # ("dense_3") and never contain '__'.)
+    if "__" in key:
+        raise ConfigurationError(
+            f"parameter key {key!r} contains '__', which collides with the "
+            f"artifact store's '/'-escape; rename the layer without double "
+            f"underscores"
+        )
     return key.replace("/", "__")
 
 
@@ -276,12 +289,19 @@ class Session:
         )
 
     # ---------------------------------------------------------------- models
-    def resolve_model(self, model_spec: ModelSpec, use_cache: bool = True) -> TrainedModel:
+    def resolve_model(
+        self,
+        model_spec: ModelSpec,
+        use_cache: bool = True,
+        workers: WorkerSpec = None,
+    ) -> TrainedModel:
         """Load the trained model from the store, or train and store it.
 
         The spec seed drives dataset synthesis, parameter initialisation and
         the trainer's shuffling, so one spec hash always maps to one set of
-        weights.
+        weights.  ``workers`` shards the training-time validation and test
+        evaluation passes; trained weights (and hence the stored artifact)
+        are bit-identical for every value.
         """
         dataset = self.resolve_dataset(model_spec)
         model = build_architecture(
@@ -289,6 +309,11 @@ class Session:
             input_shape=dataset.image_shape,
             seed=model_spec.seed,
         )
+        if use_cache:
+            # fail on unstorable parameter keys *before* paying for training
+            for layer in model.layers:
+                for pname in layer.params:
+                    _escape(f"{layer.name}/{pname}")
         digest = model_spec.content_hash()
         if use_cache:
             arrays = self.store.get_arrays("model", digest)
@@ -313,6 +338,17 @@ class Session:
             "train", f"{model_spec.architecture} on {model_spec.dataset}"
         )
         self._emit("model", "compute", f"training {model_spec.architecture}")
+        workers = workers if workers is not None else self.workers
+
+        def on_epoch(epoch: int, metrics: Dict[str, float]) -> None:
+            self._emit(
+                "train",
+                "compute",
+                f"epoch {epoch}/{model_spec.epochs} "
+                f"loss={metrics['train_loss']:.4f} "
+                f"acc={metrics['train_accuracy']:.4f}",
+            )
+
         trainer = Trainer(
             model, optimizer=Adam(model_spec.learning_rate), seed=model_spec.seed
         )
@@ -322,8 +358,12 @@ class Session:
             epochs=model_spec.epochs,
             batch_size=model_spec.batch_size,
             shuffle=True,
+            workers=workers,
+            on_epoch=on_epoch if self.progress is not None else None,
         )
-        accuracy = trainer.evaluate(dataset.test.images, dataset.test.labels)
+        accuracy = trainer.evaluate(
+            dataset.test.images, dataset.test.labels, workers=workers
+        )
         if use_cache:
             arrays = {
                 _escape(key): value for key, value in model.state_dict().items()
@@ -390,7 +430,9 @@ class Session:
                     return suite
         self._forbid_compute("craft", f"{attack_spec.attack} x{sweep.n_samples}")
         if trained is None:
-            trained = self.resolve_model(model_spec, use_cache=use_cache)
+            trained = self.resolve_model(
+                model_spec, use_cache=use_cache, workers=workers
+            )
         test = trained.dataset.test
         if sweep.n_samples > len(test):
             raise ConfigurationError(
@@ -498,7 +540,7 @@ class Session:
     def _run_panel(
         self, spec: ExperimentSpec, workers: WorkerSpec, use_cache: bool
     ) -> ExperimentResult:
-        trained = self.resolve_model(spec.model, use_cache=use_cache)
+        trained = self.resolve_model(spec.model, use_cache=use_cache, workers=workers)
         victims = self.build_victims(trained, spec.victims)
         grids: List[RobustnessGrid] = []
         for attack_spec in spec.attacks:
@@ -530,7 +572,7 @@ class Session:
     def _run_quantization(
         self, spec: ExperimentSpec, workers: WorkerSpec, use_cache: bool
     ) -> ExperimentResult:
-        trained = self.resolve_model(spec.model, use_cache=use_cache)
+        trained = self.resolve_model(spec.model, use_cache=use_cache, workers=workers)
         calibration = trained.dataset.train.images[
             : spec.victims.calibration_samples
         ]
@@ -578,7 +620,13 @@ class Session:
             seen[base] = seen.get(base, 0) + 1
             name = base if seen[base] == 1 else f"{base}#{seen[base]}"
             sources.append(
-                (name, model_spec, self.resolve_model(model_spec, use_cache=use_cache))
+                (
+                    name,
+                    model_spec,
+                    self.resolve_model(
+                        model_spec, use_cache=use_cache, workers=workers
+                    ),
+                )
             )
         primary = sources[0][2]
         calibration = primary.dataset.train.images[: spec.victims.calibration_samples]

@@ -5,6 +5,13 @@ exactly what the methodology requires — training the accurate float models,
 batched inference, and input gradients for gradient-based attacks.
 """
 
+from repro.nn.engine import (
+    FlatParameterView,
+    Workspace,
+    micro_batch_slices,
+    training_replicas,
+    validate_data_parallel,
+)
 from repro.nn.functional import (
     col2im,
     conv_output_size,
@@ -12,6 +19,7 @@ from repro.nn.functional import (
     log_softmax,
     one_hot,
     softmax,
+    softmax_cross_entropy,
 )
 from repro.nn.layers import (
     AvgPool2D,
@@ -50,6 +58,12 @@ __all__ = [
     "softmax",
     "log_softmax",
     "one_hot",
+    "softmax_cross_entropy",
+    "Workspace",
+    "FlatParameterView",
+    "micro_batch_slices",
+    "training_replicas",
+    "validate_data_parallel",
     "Layer",
     "Conv2D",
     "Dense",

@@ -1,10 +1,17 @@
-"""Activation layers."""
+"""Activation layers.
+
+Every forward/backward routes its activation-sized temporaries through the
+workspace hook (:meth:`repro.nn.layers.base.Layer._buffer`): outside the
+training runtime the hook is plain allocation, inside it the buffers are
+reused across mini-batches.  Each buffered spelling performs the same
+float64 operations in the same order as the allocating expression it
+replaces, so results are bit-identical either way.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import softmax
 from repro.nn.layers.base import Layer
 
 
@@ -14,12 +21,23 @@ class ReLU(Layer):
     _transient_attrs = ("_mask",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        mask = x > 0
-        self._mask = mask if self._keep_grad_cache(training) else None
-        return np.where(mask, x, 0.0)
+        # np.maximum(x, 0.0) is (x > 0) ? x : +0.0 — the same bits as
+        # np.where(x > 0, x, 0.0) for the finite float64 inputs training
+        # produces (-0.0 rectifies to +0.0 either way), in one pass; the
+        # mask pass is skipped entirely in pure inference.
+        self._mask = (
+            np.greater(x, 0, out=self._buffer("mask", x.shape, bool))
+            if self._keep_grad_cache(training)
+            else None
+        )
+        return np.maximum(x, 0.0, out=self._buffer("out", x.shape, x.dtype))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._mask
+        return np.multiply(
+            grad_output,
+            self._mask,
+            out=self._scratch(grad_output.shape, grad_output.dtype),
+        )
 
 
 class Tanh(Layer):
@@ -28,12 +46,16 @@ class Tanh(Layer):
     _transient_attrs = ("_output",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        output = np.tanh(x)
+        output = np.tanh(x, out=self._buffer("out", x.shape, x.dtype))
         self._output = output if self._keep_grad_cache(training) else None
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * (1.0 - self._output ** 2)
+        # grad * (1 - output ** 2), with the same operation order
+        buf = self._scratch(grad_output.shape, grad_output.dtype)
+        np.power(self._output, 2, out=buf)
+        np.subtract(1.0, buf, out=buf)
+        return np.multiply(grad_output, buf, out=buf)
 
 
 class Sigmoid(Layer):
@@ -42,12 +64,24 @@ class Sigmoid(Layer):
     _transient_attrs = ("_output",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        output = 1.0 / (1.0 + np.exp(-x))
+        # 1 / (1 + exp(-x)) step by step into one buffer
+        output = self._buffer("out", x.shape, x.dtype)
+        np.negative(x, out=output)
+        np.exp(output, out=output)
+        np.add(output, 1.0, out=output)
+        np.divide(1.0, output, out=output)
         self._output = output if self._keep_grad_cache(training) else None
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        return grad_output * self._output * (1.0 - self._output)
+        # (grad * output) * (1 - output), matching grad * output * (1 - output)
+        buf = self._scratch(grad_output.shape, grad_output.dtype)
+        one_minus = self._scratch(grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, self._output, out=buf)
+        np.subtract(1.0, self._output, out=one_minus)
+        np.multiply(buf, one_minus, out=buf)
+        self._reclaim(one_minus)
+        return buf
 
 
 class Softmax(Layer):
@@ -62,12 +96,19 @@ class Softmax(Layer):
     _transient_attrs = ("_output",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        output = softmax(x, axis=-1)
+        # the numerically stable softmax of repro.nn.functional, buffered
+        output = self._buffer("out", x.shape, x.dtype)
+        np.subtract(x, np.max(x, axis=-1, keepdims=True), out=output)
+        np.exp(output, out=output)
+        np.divide(output, np.sum(output, axis=-1, keepdims=True), out=output)
         self._output = output if self._keep_grad_cache(training) else None
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         # Jacobian-vector product of softmax: s * (g - sum(g * s))
         s = self._output
-        dot = np.sum(grad_output * s, axis=-1, keepdims=True)
-        return s * (grad_output - dot)
+        buf = self._scratch(grad_output.shape, grad_output.dtype)
+        np.multiply(grad_output, s, out=buf)
+        dot = np.sum(buf, axis=-1, keepdims=True)
+        np.subtract(grad_output, dot, out=buf)
+        return np.multiply(s, buf, out=buf)

@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.functional import col2im, conv_output_size, im2col, im2col_strided
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
 
@@ -87,12 +87,48 @@ class Conv2D(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4:
             raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
-        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.pad_amount)
-        batch, out_h, out_w, patch = cols.shape
-        y = cols.reshape(-1, patch) @ self.flattened_weight()
+        batch, height, width, channels = x.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.pad_amount)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.pad_amount)
+        patch = self.kernel_size * self.kernel_size * channels
+        cols_buffer = self._buffer("cols", (batch, out_h, out_w, patch), x.dtype)
+        if self._arena_active():
+            # fused single-copy patch extraction (bit-identical to the loop)
+            pad = self.pad_amount
+            cols = im2col_strided(
+                x,
+                self.kernel_size,
+                self.kernel_size,
+                self.stride,
+                pad,
+                out=cols_buffer,
+                padded=(
+                    self._buffer(
+                        "x_padded",
+                        (batch, height + 2 * pad, width + 2 * pad, channels),
+                        x.dtype,
+                    )
+                    if pad
+                    else None
+                ),
+            )
+        else:
+            cols = im2col(
+                x,
+                self.kernel_size,
+                self.kernel_size,
+                self.stride,
+                self.pad_amount,
+                out=cols_buffer,
+            )
+        y = np.matmul(
+            cols.reshape(-1, patch),
+            self.flattened_weight(),
+            out=self._buffer("out", (batch * out_h * out_w, self.filters), x.dtype),
+        )
         y = y.reshape(batch, out_h, out_w, self.filters)
         if self.use_bias:
-            y = y + self.params["bias"]
+            y = np.add(y, self.params["bias"], out=y)
         # Caches are kept in evaluation mode as well so that adversarial
         # attacks can differentiate the loss with respect to the input —
         # except under no_grad_cache (pure batched inference), where keeping
@@ -113,16 +149,33 @@ class Conv2D(Layer):
         cols = self._cols_cache
         batch, out_h, out_w, patch = cols.shape
         grad_flat = grad_output.reshape(-1, self.filters)
-        weight_grad = cols.reshape(-1, patch).T @ grad_flat
+        weight_grad = np.matmul(
+            cols.reshape(-1, patch).T,
+            grad_flat,
+            out=self._buffer("weight_grad", (patch, self.filters), cols.dtype),
+        )
         self.grads["weight"] = weight_grad.reshape(self.params["weight"].shape)
         if self.use_bias:
-            self.grads["bias"] = grad_flat.sum(axis=0)
-        grad_cols = (grad_flat @ self.flattened_weight().T).reshape(cols.shape)
-        return col2im(
+            self.grads["bias"] = grad_flat.sum(
+                axis=0, out=self._buffer("bias_grad", (self.filters,), cols.dtype)
+            )
+        grad_cols = np.matmul(
+            grad_flat,
+            self.flattened_weight().T,
+            out=self._scratch((grad_flat.shape[0], patch), cols.dtype),
+        ).reshape(cols.shape)
+        in_batch, in_h, in_w, in_c = self._input_shape_cache
+        pad = self.pad_amount
+        grad_input = col2im(
             grad_cols,
             self._input_shape_cache,
             self.kernel_size,
             self.kernel_size,
             self.stride,
             self.pad_amount,
+            out=self._scratch(
+                (in_batch, in_h + 2 * pad, in_w + 2 * pad, in_c), cols.dtype
+            ),
         )
+        self._reclaim(grad_cols)
+        return grad_input

@@ -63,9 +63,13 @@ class Dense(Layer):
         # attacks need input gradients of the model in evaluation mode.  Under
         # no_grad_cache (pure batched inference) the reference is dropped.
         self._input_cache = x if self._keep_grad_cache(training) else None
-        y = x @ self.params["weight"]
+        y = np.matmul(
+            x,
+            self.params["weight"],
+            out=self._buffer("out", (x.shape[0], self.units), x.dtype),
+        )
         if self.use_bias:
-            y = y + self.params["bias"]
+            y = np.add(y, self.params["bias"], out=y)
         return y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -74,7 +78,17 @@ class Dense(Layer):
                 f"{self.name}: backward called without a training forward pass"
             )
         x = self._input_cache
-        self.grads["weight"] = x.T @ grad_output
+        self.grads["weight"] = np.matmul(
+            x.T,
+            grad_output,
+            out=self._buffer("weight_grad", self.params["weight"].shape, x.dtype),
+        )
         if self.use_bias:
-            self.grads["bias"] = grad_output.sum(axis=0)
-        return grad_output @ self.params["weight"].T
+            self.grads["bias"] = grad_output.sum(
+                axis=0, out=self._buffer("bias_grad", (self.units,), x.dtype)
+            )
+        return np.matmul(
+            grad_output,
+            self.params["weight"].T,
+            out=self._scratch(x.shape, x.dtype),
+        )

@@ -29,15 +29,31 @@ class Dropout(Layer):
         self._rng = np.random.default_rng(seed)
         self._mask: Optional[np.ndarray] = None
 
+    def data_parallel_safe(self) -> bool:
+        # active dropout draws from mutable per-layer RNG state: the draw
+        # order would depend on micro-batch scheduling
+        return self.rate == 0.0
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        # same draws and ops as (rng.random(shape) < keep) / keep, buffered
+        draws = self._rng.random(out=self._buffer("draws", x.shape, np.float64))
+        kept = np.less(draws, keep, out=self._buffer("kept", x.shape, bool))
+        self._mask = np.divide(
+            kept, keep, out=self._buffer("mask", x.shape, np.float64)
+        )
+        return np.multiply(
+            x, self._mask, out=self._buffer("out", x.shape, x.dtype)
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad_output
-        return grad_output * self._mask
+        return np.multiply(
+            grad_output,
+            self._mask,
+            out=self._scratch(grad_output.shape, grad_output.dtype),
+        )

@@ -42,6 +42,11 @@ class BatchNorm(Layer):
         self.running_var = np.ones(features, dtype=np.float64)
         self.built = True
 
+    def data_parallel_safe(self) -> bool:
+        # batch statistics couple samples: per-micro-batch statistics would
+        # train a different function
+        return False
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         axes = tuple(range(x.ndim - 1))
         if training:
@@ -57,7 +62,11 @@ class BatchNorm(Layer):
             mean = self.running_mean
             var = self.running_var
         std = np.sqrt(var + self.epsilon)
-        x_hat = (x - mean) / std
+        # (x - mean) / std into a workspace buffer, same ops as the
+        # allocating expression
+        x_hat = self._buffer("x_hat", x.shape, x.dtype)
+        np.subtract(x, mean, out=x_hat)
+        np.divide(x_hat, std, out=x_hat)
         if self._keep_grad_cache(training):
             self._std = std
             self._x_hat = x_hat
@@ -66,7 +75,10 @@ class BatchNorm(Layer):
             self._std = None
             self._x_hat = None
             self._batch_axes = None
-        return self.params["gamma"] * x_hat + self.params["beta"]
+        out = self._buffer("out", x.shape, x.dtype)
+        np.multiply(self.params["gamma"], x_hat, out=out)
+        np.add(out, self.params["beta"], out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         axes = self._batch_axes

@@ -38,9 +38,9 @@ class _Pool2D(Layer):
         batch, height, width, channels = x.shape
         out_h = conv_output_size(height, self.pool_size, self.stride, 0)
         out_w = conv_output_size(width, self.pool_size, self.stride, 0)
-        windows = np.empty(
+        windows = self._scratch(
             (batch, out_h, out_w, channels, self.pool_size * self.pool_size),
-            dtype=x.dtype,
+            x.dtype,
         )
         for i in range(self.pool_size):
             for j in range(self.pool_size):
@@ -60,13 +60,23 @@ class AvgPool2D(_Pool2D):
         if x.ndim != 4:
             raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
         self._input_shape = x.shape
-        return self._windows(x).mean(axis=-1)
+        windows = self._windows(x)
+        out = windows.mean(
+            axis=-1, out=self._buffer("out", windows.shape[:-1], windows.dtype)
+        )
+        self._reclaim(windows)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         batch, height, width, channels = self._input_shape
         out_h, out_w = grad_output.shape[1], grad_output.shape[2]
-        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
-        share = grad_output / (self.pool_size * self.pool_size)
+        grad_input = self._scratch(self._input_shape, grad_output.dtype)
+        grad_input.fill(0.0)
+        share = np.divide(
+            grad_output,
+            self.pool_size * self.pool_size,
+            out=self._scratch(grad_output.shape, grad_output.dtype),
+        )
         for i in range(self.pool_size):
             for j in range(self.pool_size):
                 grad_input[
@@ -75,6 +85,7 @@ class AvgPool2D(_Pool2D):
                     j : j + out_w * self.stride : self.stride,
                     :,
                 ] += share
+        self._reclaim(share)
         return grad_input
 
 
@@ -90,23 +101,37 @@ class MaxPool2D(_Pool2D):
         windows = self._windows(x)
         # The argmax map is activation-sized; skip it in pure inference.
         self._argmax = (
-            windows.argmax(axis=-1) if self._keep_grad_cache(training) else None
+            windows.argmax(
+                axis=-1, out=self._buffer("argmax", windows.shape[:-1], np.intp)
+            )
+            if self._keep_grad_cache(training)
+            else None
         )
-        return windows.max(axis=-1)
+        out = windows.max(
+            axis=-1, out=self._buffer("out", windows.shape[:-1], windows.dtype)
+        )
+        self._reclaim(windows)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         batch, height, width, channels = self._input_shape
         out_h, out_w = grad_output.shape[1], grad_output.shape[2]
-        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        grad_input = self._scratch(self._input_shape, grad_output.dtype)
+        grad_input.fill(0.0)
+        mask = self._scratch(self._argmax.shape, bool)
+        contribution = self._scratch(grad_output.shape, grad_output.dtype)
         for i in range(self.pool_size):
             for j in range(self.pool_size):
-                mask = self._argmax == (i * self.pool_size + j)
+                np.equal(self._argmax, i * self.pool_size + j, out=mask)
+                np.multiply(grad_output, mask, out=contribution)
                 grad_input[
                     :,
                     i : i + out_h * self.stride : self.stride,
                     j : j + out_w * self.stride : self.stride,
                     :,
-                ] += grad_output * mask
+                ] += contribution
+        self._reclaim(mask)
+        self._reclaim(contribution)
         return grad_input
 
 
@@ -122,14 +147,18 @@ class GlobalAvgPool2D(Layer):
         if x.ndim != 4:
             raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
         self._input_shape = x.shape
-        return x.mean(axis=(1, 2))
+        return x.mean(
+            axis=(1, 2), out=self._buffer("out", (x.shape[0], x.shape[3]), x.dtype)
+        )
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         batch, height, width, channels = self._input_shape
         scale = 1.0 / (height * width)
-        return (
-            np.broadcast_to(
-                grad_output[:, None, None, :], self._input_shape
-            ).astype(grad_output.dtype)
-            * scale
+        # broadcast-then-scale, matching the allocating expression bit for bit
+        grad_input = self._scratch(self._input_shape, grad_output.dtype)
+        np.multiply(
+            np.broadcast_to(grad_output[:, None, None, :], self._input_shape),
+            scale,
+            out=grad_input,
         )
+        return grad_input

@@ -7,14 +7,21 @@ Targets are integer class labels for classification losses.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
-from repro.errors import ShapeError
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.functional import log_softmax, one_hot, softmax, softmax_cross_entropy
 
 
 class Loss:
     """Base class for losses."""
+
+    #: True when value_and_gradient honours the ``normalizer`` override,
+    #: which is what the data-parallel trainer needs to sum per-micro-batch
+    #: gradients into the exact mini-batch gradient.
+    supports_normalizer = False
 
     def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         raise NotImplementedError
@@ -22,12 +29,47 @@ class Loss:
     def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def value_and_gradient(
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        normalizer: Optional[int] = None,
+        grad_out: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Loss value and gradient of one batch in a single call.
+
+        The base implementation simply chains :meth:`value` and
+        :meth:`gradient`; fused losses override it to share the expensive
+        intermediate (see :class:`CrossEntropyLoss`).  ``normalizer`` is
+        only meaningful for losses that declare ``supports_normalizer``.
+        """
+        if normalizer is not None and normalizer != predictions.shape[0]:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not support micro-batch "
+                f"normalization (normalizer={normalizer} for a batch of "
+                f"{predictions.shape[0]})"
+            )
+        value = self.value(predictions, targets)
+        grad = self.gradient(predictions, targets)
+        if grad_out is not None:
+            np.copyto(grad_out, grad)
+            grad = grad_out
+        return value, grad
+
     def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         return self.value(predictions, targets)
 
 
 class CrossEntropyLoss(Loss):
-    """Softmax cross-entropy on logits with integer class targets."""
+    """Softmax cross-entropy on logits with integer class targets.
+
+    :meth:`value` and :meth:`gradient` are the unfused reference pair (three
+    shifted-exp passes between them); :meth:`value_and_gradient` is the
+    fused single-pass path the training runtime uses, bit-identical to the
+    pair (see :func:`repro.nn.functional.softmax_cross_entropy`).
+    """
+
+    supports_normalizer = True
 
     def _check(self, logits: np.ndarray, targets: np.ndarray) -> None:
         if logits.ndim != 2:
@@ -48,6 +90,18 @@ class CrossEntropyLoss(Loss):
         probs = softmax(logits, axis=-1)
         grad = (probs - one_hot(targets, logits.shape[1])) / logits.shape[0]
         return grad
+
+    def value_and_gradient(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        normalizer: Optional[int] = None,
+        grad_out: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        self._check(logits, np.asarray(targets))
+        return softmax_cross_entropy(
+            logits, targets, normalizer=normalizer, grad_out=grad_out
+        )
 
 
 class MeanSquaredError(Loss):

@@ -22,6 +22,11 @@ from repro.nn.layers.base import Layer
 from repro.nn.losses import CrossEntropyLoss, Loss
 from repro.nn.runtime import WorkerSpec, run_sharded, validate_batch_size
 
+#: shared stateless default loss — the gradient-based attacks differentiate
+#: through input_gradient thousands of times per sweep; instantiating a
+#: fresh CrossEntropyLoss per call was pure garbage-collector churn
+_DEFAULT_LOSS = CrossEntropyLoss()
+
 
 class Sequential:
     """An ordered stack of layers."""
@@ -84,11 +89,21 @@ class Sequential:
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Back-propagate a gradient through every layer (reverse order)."""
+        """Back-propagate a gradient through every layer (reverse order).
+
+        Inside the training runtime's workspace scope, each intermediate
+        gradient is handed back to the arena's scratch pool as soon as the
+        next layer has consumed it (unless the layer passed it through as a
+        view, e.g. Flatten/inactive Dropout).  The final input gradient is
+        never reclaimed here.
+        """
         self._require_built()
         grad = grad_output
         for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+            next_grad = layer.backward(grad)
+            if not np.may_share_memory(next_grad, grad):
+                layer._reclaim(grad)
+            grad = next_grad
         return grad
 
     def predict(
@@ -146,7 +161,7 @@ class Sequential:
         self._require_built()
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y)
-        loss = loss if loss is not None else CrossEntropyLoss()
+        loss = loss if loss is not None else _DEFAULT_LOSS
         logits = self.forward(x, training=False)
         grad_logits = loss.gradient(logits, y)
         return self.backward(grad_logits)
@@ -157,13 +172,18 @@ class Sequential:
         y: np.ndarray,
         loss: Optional[Loss] = None,
     ) -> Tuple[float, np.ndarray]:
-        """Return ``(loss value, input gradient)`` in a single pass."""
+        """Return ``(loss value, input gradient)`` in a single pass.
+
+        Uses the loss's fused ``value_and_gradient`` (one shifted-exp pass
+        for cross-entropy instead of two), bit-identical to calling
+        ``value`` and ``gradient`` separately.
+        """
         self._require_built()
         x = np.asarray(x, dtype=np.float64)
-        loss = loss if loss is not None else CrossEntropyLoss()
+        loss = loss if loss is not None else _DEFAULT_LOSS
         logits = self.forward(x, training=False)
-        value = loss.value(logits, y)
-        grad = self.backward(loss.gradient(logits, y))
+        value, grad_logits = loss.value_and_gradient(logits, y)
+        grad = self.backward(grad_logits)
         return value, grad
 
     # ------------------------------------------------------------ parameters

@@ -1,4 +1,17 @@
-"""Gradient-descent optimizers."""
+"""Gradient-descent optimizers.
+
+Two update entry points coexist:
+
+* :meth:`Optimizer.step` — the original per-layer loop, updating each
+  ``layer.params`` array from ``layer.grads`` (kept for external callers
+  and as the bit-identity reference);
+* :meth:`Optimizer.step_flat` — the training runtime's path: one fused
+  elementwise update over a single flat parameter/gradient view
+  (:class:`repro.nn.engine.FlatParameterView`).  Every update rule here is
+  purely elementwise, so the flat update applies exactly the same float64
+  operations to every scalar parameter as the per-layer loop — the two
+  paths produce bit-identical weights.
+"""
 
 from __future__ import annotations
 
@@ -12,12 +25,44 @@ from repro.nn.layers.base import Layer
 #: a trainable parameter is addressed as (layer, parameter-name)
 ParameterRef = Tuple[Layer, str]
 
+#: state key under which the flat (fused) update keeps its buffers
+_FLAT_KEY = "__flat__"
+
 
 class Optimizer:
     """Base class: updates layer parameters in place from ``layer.grads``."""
 
+    def _state_maps(self) -> Tuple[Dict[str, object], ...]:
+        """The optimizer's keyed state dicts (velocities, moments, ...).
+
+        Used to detect a runtime switch mid-training: per-layer state
+        (written by :meth:`step`) and flat state (written by
+        :meth:`step_flat`) address the same parameters under different
+        keys, so continuing with the other entry point would silently
+        restart momentum/moment accumulators.  Stateless optimizers return
+        nothing and may switch freely.
+        """
+        return ()
+
+    def _guard_state_layout(self, flat: bool) -> None:
+        for state in self._state_maps():
+            foreign = (
+                any(key != _FLAT_KEY for key in state)
+                if flat
+                else _FLAT_KEY in state
+            )
+            if foreign:
+                raise ConfigurationError(
+                    f"{type(self).__name__} holds optimizer state written by "
+                    f"the {'per-layer' if flat else 'flat'} update path; "
+                    f"momentum/moment accumulators cannot be carried across "
+                    f"a runtime switch — use one runtime (or a fresh "
+                    f"optimizer) per training run"
+                )
+
     def step(self, layers: Iterable[Layer]) -> None:
         """Apply one update to every trainable parameter of ``layers``."""
+        self._guard_state_layout(flat=False)
         for layer in layers:
             for name, value in layer.params.items():
                 grad = layer.grads.get(name)
@@ -25,13 +70,68 @@ class Optimizer:
                     continue
                 self._update(layer, name, value, grad)
 
+    def supports_flat_step(self) -> bool:
+        """Whether this optimizer implements the fused flat update.
+
+        Subclasses that only override ``_update`` (the pre-arena extension
+        point) return False here, and the training runtime falls back to
+        the per-layer :meth:`step` for them.  The check compares *defining
+        classes* in the MRO: a subclass of SGD/Adam that customises
+        ``_update`` without touching ``_update_flat`` must not be treated
+        as flat-capable — the inherited flat update would silently skip the
+        customisation.
+        """
+        cls = type(self)
+
+        def defining(name: str) -> type:
+            for klass in cls.__mro__:
+                if name in vars(klass):
+                    return klass
+            return Optimizer
+
+        flat_definer = defining("_update_flat")
+        if flat_definer is Optimizer:
+            return False
+        # the flat spelling must be at least as derived as the per-layer
+        # rule, otherwise it cannot reflect the subclass's update logic
+        return issubclass(flat_definer, defining("_update"))
+
+    def step_flat(self, view) -> None:
+        """Apply one fused elementwise update to a flat parameter view.
+
+        ``view`` is a :class:`repro.nn.engine.FlatParameterView` (anything
+        exposing float64 ``params`` / ``grads`` vectors of equal size
+        works).  Optimizer state and scratch buffers for the flat path are
+        allocated once and reused, so steady-state stepping is
+        allocation-free.
+        """
+        params, grads = view.params, view.grads
+        if params.shape != grads.shape:
+            raise ConfigurationError(
+                f"flat params/grads size mismatch: {params.shape} vs {grads.shape}"
+            )
+        self._guard_state_layout(flat=True)
+        self._update_flat(params, grads)
+
     def _update(
         self, layer: Layer, name: str, value: np.ndarray, grad: np.ndarray
     ) -> None:
         raise NotImplementedError
 
+    def _update_flat(self, value: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
     def _state_key(self, layer: Layer, name: str) -> str:
         return f"{layer.name}/{name}"
+
+    def _scratch(self, name: str, like: np.ndarray) -> np.ndarray:
+        """A persistent scratch buffer for the flat update path."""
+        buffers: Dict[str, np.ndarray] = self.__dict__.setdefault("_flat_scratch", {})
+        buf = buffers.get(name)
+        if buf is None or buf.shape != like.shape or buf.dtype != like.dtype:
+            buf = np.empty_like(like)
+            buffers[name] = buf
+        return buf
 
 
 class SGD(Optimizer):
@@ -51,6 +151,9 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity: Dict[str, np.ndarray] = {}
 
+    def _state_maps(self):
+        return (self._velocity,)
+
     def _update(self, layer, name, value, grad):
         if self.weight_decay:
             grad = grad + self.weight_decay * value
@@ -64,6 +167,28 @@ class SGD(Optimizer):
             value += velocity
         else:
             value -= self.learning_rate * grad
+
+    def _update_flat(self, value, grad):
+        # Same elementwise operations (and operand order) as _update, fused
+        # over the whole flat vector; `x * scalar` commutes bitwise, so the
+        # in-place spellings below match the per-layer expressions exactly.
+        if self.weight_decay:
+            decayed = self._scratch("decayed", value)
+            np.multiply(value, self.weight_decay, out=decayed)
+            np.add(grad, decayed, out=decayed)
+            grad = decayed
+        scaled = self._scratch("scaled", value)
+        np.multiply(grad, self.learning_rate, out=scaled)
+        if self.momentum:
+            velocity = self._velocity.get(_FLAT_KEY)
+            if velocity is None or velocity.shape != value.shape:
+                velocity = np.zeros_like(value)
+                self._velocity[_FLAT_KEY] = velocity
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.subtract(velocity, scaled, out=velocity)
+            np.add(value, velocity, out=value)
+        else:
+            np.subtract(value, scaled, out=value)
 
 
 class Adam(Optimizer):
@@ -91,6 +216,9 @@ class Adam(Optimizer):
         self._v: Dict[str, np.ndarray] = {}
         self._t: Dict[str, int] = {}
 
+    def _state_maps(self):
+        return (self._m, self._v, self._t)
+
     def _update(self, layer, name, value, grad):
         if self.weight_decay:
             grad = grad + self.weight_decay * value
@@ -104,3 +232,41 @@ class Adam(Optimizer):
         m_hat = m / (1.0 - self.beta1 ** t)
         v_hat = v / (1.0 - self.beta2 ** t)
         value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def _update_flat(self, value, grad):
+        # Fused spelling of _update: identical elementwise float64 ops in
+        # identical order per scalar parameter (scalar multiplies commute).
+        if self.weight_decay:
+            decayed = self._scratch("decayed", value)
+            np.multiply(value, self.weight_decay, out=decayed)
+            np.add(grad, decayed, out=decayed)
+            grad = decayed
+        m = self._m.get(_FLAT_KEY)
+        v = self._v.get(_FLAT_KEY)
+        if m is None or m.shape != value.shape:
+            # fresh moments restart the step count too — a stale t would
+            # treat the zeroed moments as fully bias-corrected
+            m = np.zeros_like(value)
+            v = np.zeros_like(value)
+            self._t.pop(_FLAT_KEY, None)
+        t = self._t.get(_FLAT_KEY, 0) + 1
+        s1 = self._scratch("s1", value)
+        s2 = self._scratch("s2", value)
+        # m = beta1 * m + (1 - beta1) * grad
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=s1)
+        np.add(m, s1, out=m)
+        # v = beta2 * v + (1 - beta2) * grad ** 2
+        np.multiply(v, self.beta2, out=v)
+        np.power(grad, 2, out=s1)
+        np.multiply(s1, 1.0 - self.beta2, out=s1)
+        np.add(v, s1, out=v)
+        self._m[_FLAT_KEY], self._v[_FLAT_KEY], self._t[_FLAT_KEY] = m, v, t
+        # value -= lr * m_hat / (sqrt(v_hat) + eps)
+        np.divide(m, 1.0 - self.beta1 ** t, out=s1)
+        np.divide(v, 1.0 - self.beta2 ** t, out=s2)
+        np.multiply(s1, self.learning_rate, out=s1)
+        np.sqrt(s2, out=s2)
+        np.add(s2, self.epsilon, out=s2)
+        np.divide(s1, s2, out=s1)
+        np.subtract(value, s1, out=value)

@@ -1,17 +1,54 @@
-"""Mini-batch training loop."""
+"""Mini-batch training loop on the deterministic training runtime.
+
+The default ``runtime="arena"`` path routes every step through
+:mod:`repro.nn.engine`: layer forwards/backwards reuse per-model workspace
+buffers, the loss runs as the fused single-pass
+:func:`repro.nn.functional.softmax_cross_entropy`, and the optimizer applies
+one fused elementwise update to a flat parameter view.  All of it performs
+the same float64 operations in the same order as the original loop, so the
+trained weights are bit-identical to ``runtime="legacy"`` (the seed loop,
+kept as the reference and for benchmarking).
+
+``micro_batch=m`` additionally turns on deterministic data-parallel
+gradients: each mini-batch is split into the *canonical* micro-batch
+partition (fixed by the batch size alone — never by the worker count),
+per-micro-batch gradients are computed on thread replicas that share
+parameter storage, and reduced in canonical index order.  The result is
+bit-identical for every ``workers`` value; it differs from the full-batch
+gradient only by float summation order.  With ``micro_batch=None`` (the
+default) the gradient math is exactly the full-batch computation, so
+``workers`` never changes trained weights — it only shards validation and
+evaluation passes.
+"""
 
 from __future__ import annotations
 
+import queue
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.nn.engine import (
+    FlatParameterView,
+    Workspace,
+    ensure_training_engine,
+    fused_training_step,
+    micro_batch_slices,
+    training_replicas,
+    validate_data_parallel,
+)
+from repro.nn.layers.base import workspace_scope
 from repro.nn.losses import CrossEntropyLoss, Loss
 from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Optimizer, SGD
+from repro.nn.runtime import WorkerSpec, resolve_workers, validate_batch_size
+
+#: called after every epoch with (1-based epoch index, metrics of the epoch)
+EpochCallback = Callable[[int, Dict[str, float]], None]
 
 
 @dataclass
@@ -48,7 +85,23 @@ class Trainer:
         self.loss = loss if loss is not None else CrossEntropyLoss()
         self.optimizer = optimizer if optimizer is not None else SGD(0.01, momentum=0.9)
         self._rng = np.random.default_rng(seed)
+        self._arena: Optional[Workspace] = None
+        self._flat: Optional[FlatParameterView] = None
 
+    # ------------------------------------------------------------- plumbing
+    def _ensure_engine(self) -> FlatParameterView:
+        """Bind the workspace arena and (re)build the flat parameter view."""
+        self._arena, self._flat = ensure_training_engine(
+            self.model, self._arena, self._flat
+        )
+        return self._flat
+
+    @property
+    def workspace(self) -> Optional[Workspace]:
+        """The trainer's buffer arena (populated after the first arena fit)."""
+        return self._arena
+
+    # ------------------------------------------------------------------ fit
     def fit(
         self,
         x: np.ndarray,
@@ -58,12 +111,59 @@ class Trainer:
         validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         shuffle: bool = True,
         verbose: bool = False,
+        workers: WorkerSpec = None,
+        micro_batch: Optional[int] = None,
+        runtime: str = "arena",
+        on_epoch: Optional[EpochCallback] = None,
     ) -> TrainingHistory:
-        """Train for ``epochs`` passes over ``(x, y)``; returns the history."""
+        """Train for ``epochs`` passes over ``(x, y)``; returns the history.
+
+        Parameters beyond the seed loop's:
+
+        workers:
+            Shards validation/evaluation predicts and, when ``micro_batch``
+            is set, the per-micro-batch gradient computation across threads.
+            Never changes trained weights: the gradient partition is
+            canonical (worker-count independent) and reduced in canonical
+            order, so weights are bit-identical for every value.
+        micro_batch:
+            Canonical micro-batch size for deterministic data-parallel
+            gradients.  ``None`` (default) keeps the exact full-batch
+            gradient math of the seed trainer.
+        runtime:
+            ``"arena"`` (default) — workspace buffers, fused loss, flat
+            optimizer step; bit-identical to ``"legacy"``, the original
+            allocating loop kept as reference.
+        on_epoch:
+            Callback invoked after each epoch with ``(epoch, metrics)`` —
+            the hook :class:`repro.experiments.session.Session` uses for
+            training progress events.
+        """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
-        if batch_size <= 0:
-            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        validate_batch_size(batch_size)
+        if runtime not in ("arena", "legacy"):
+            raise ConfigurationError(
+                f"runtime must be 'arena' or 'legacy', got {runtime!r}"
+            )
+        if micro_batch is not None:
+            if runtime == "legacy":
+                raise ConfigurationError(
+                    "micro_batch requires the arena runtime"
+                )
+            validate_batch_size(micro_batch)
+            validate_data_parallel(self.model)
+            if not getattr(self.loss, "supports_normalizer", False):
+                raise ConfigurationError(
+                    f"{type(self.loss).__name__} does not support micro-batch "
+                    f"normalization; train with micro_batch=None"
+                )
+            if not self.optimizer.supports_flat_step():
+                raise ConfigurationError(
+                    f"{type(self.optimizer).__name__} implements only the "
+                    f"per-layer update; micro-batch gradients reduce into a "
+                    f"flat vector — train with micro_batch=None"
+                )
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.int64)
         if x.shape[0] != y.shape[0]:
@@ -73,39 +173,204 @@ class Trainer:
             )
         history = TrainingHistory()
         n_samples = x.shape[0]
-        for epoch in range(epochs):
-            order = np.arange(n_samples)
-            if shuffle:
-                self._rng.shuffle(order)
-            epoch_losses = []
-            epoch_correct = 0
-            for start in range(0, n_samples, batch_size):
-                batch_idx = order[start : start + batch_size]
-                xb, yb = x[batch_idx], y[batch_idx]
-                logits = self.model.forward(xb, training=True)
-                batch_loss = self.loss.value(logits, yb)
-                grad = self.loss.gradient(logits, yb)
-                self.model.backward(grad)
-                self.optimizer.step(self.model.trainable_layers())
-                epoch_losses.append(batch_loss)
-                epoch_correct += int(np.sum(np.argmax(logits, axis=-1) == yb))
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            history.train_accuracy.append(epoch_correct / n_samples)
-            if validation_data is not None:
-                val_x, val_y = validation_data
-                val_acc = self.evaluate(val_x, val_y, batch_size=batch_size)
-                history.validation_accuracy.append(val_acc)
-            if verbose:  # pragma: no cover - console output
-                message = (
-                    f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
-                    f"train_acc={history.train_accuracy[-1]:.4f}"
+        flat = self._ensure_engine() if runtime == "arena" else None
+        shard_pool = None
+        try:
+            if micro_batch is not None:
+                shard_pool = _MicroBatchPool(
+                    self.model, flat, resolve_workers(workers), self._arena
                 )
+            for epoch in range(epochs):
+                order = np.arange(n_samples)
+                if shuffle:
+                    self._rng.shuffle(order)
+                epoch_losses = []
+                epoch_correct = 0
+                for start in range(0, n_samples, batch_size):
+                    batch_idx = order[start : start + batch_size]
+                    xb, yb = x[batch_idx], y[batch_idx]
+                    if runtime == "legacy":
+                        batch_loss, correct = self._legacy_step(xb, yb)
+                    elif shard_pool is not None:
+                        batch_loss, correct = self._micro_batch_step(
+                            xb, yb, micro_batch, flat, shard_pool
+                        )
+                    else:
+                        batch_loss, correct = self._arena_step(xb, yb, flat)
+                    epoch_losses.append(batch_loss)
+                    epoch_correct += correct
+                history.train_loss.append(float(np.mean(epoch_losses)))
+                history.train_accuracy.append(epoch_correct / n_samples)
                 if validation_data is not None:
-                    message += f" val_acc={history.validation_accuracy[-1]:.4f}"
-                print(message)
+                    val_x, val_y = validation_data
+                    val_acc = self.evaluate(
+                        val_x, val_y, batch_size=batch_size, workers=workers
+                    )
+                    history.validation_accuracy.append(val_acc)
+                if on_epoch is not None:
+                    metrics = {
+                        "train_loss": history.train_loss[-1],
+                        "train_accuracy": history.train_accuracy[-1],
+                    }
+                    if validation_data is not None:
+                        metrics["validation_accuracy"] = history.validation_accuracy[-1]
+                    on_epoch(epoch + 1, metrics)
+                if verbose:  # pragma: no cover - console output
+                    message = (
+                        f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
+                        f"train_acc={history.train_accuracy[-1]:.4f}"
+                    )
+                    if validation_data is not None:
+                        message += f" val_acc={history.validation_accuracy[-1]:.4f}"
+                    print(message)
+        finally:
+            if shard_pool is not None:
+                shard_pool.shutdown()
+            if runtime == "arena":
+                # drop buffer bindings so the trained model doesn't pin
+                # activation-sized arrays; the arena itself stays cached on
+                # the trainer for the next fit
+                Workspace.unbind(self.model)
         return history
 
-    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 128) -> float:
-        """Accuracy of the model on ``(x, y)``."""
-        predictions = self.model.predict_classes(x, batch_size=batch_size)
+    # ------------------------------------------------------------ the steps
+    def _legacy_step(self, xb: np.ndarray, yb: np.ndarray) -> Tuple[float, int]:
+        """The seed training step: allocating ops, per-layer optimizer loop."""
+        logits = self.model.forward(xb, training=True)
+        batch_loss = self.loss.value(logits, yb)
+        grad = self.loss.gradient(logits, yb)
+        self.model.backward(grad)
+        self.optimizer.step(self.model.trainable_layers())
+        correct = int(np.sum(np.argmax(logits, axis=-1) == yb))
+        return batch_loss, correct
+
+    def _arena_step(
+        self, xb: np.ndarray, yb: np.ndarray, flat: FlatParameterView
+    ) -> Tuple[float, int]:
+        """One full-batch step on the arena runtime (bit-identical to legacy)."""
+        return fused_training_step(
+            self.model, self.loss, self.optimizer, self._arena, flat, xb, yb
+        )
+
+    def _micro_batch_step(
+        self,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        micro_batch: int,
+        flat: FlatParameterView,
+        shard_pool: "_MicroBatchPool",
+    ) -> Tuple[float, int]:
+        """One data-parallel step over the canonical micro-batch partition.
+
+        Gradients are normalised by the full mini-batch size and reduced in
+        canonical index order, so the step is invariant to the worker count
+        (and equals the full-batch gradient up to float summation order).
+        """
+        slices = micro_batch_slices(xb.shape[0], micro_batch)
+        parts = shard_pool.run(xb, yb, slices, self.loss)
+        batch_loss = 0.0
+        correct = 0
+        for value, n_correct in parts:
+            batch_loss += value
+            correct += n_correct
+        grad_stack = shard_pool.grad_stack(len(slices), flat.size)
+        np.sum(grad_stack[: len(slices)], axis=0, out=flat.grads)
+        self.optimizer.step_flat(flat)
+        return batch_loss, correct
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 128,
+        workers: WorkerSpec = None,
+    ) -> float:
+        """Accuracy of the model on ``(x, y)``.
+
+        ``workers`` shards the prediction batches across threads (see
+        :func:`repro.nn.runtime.run_sharded`); results are bit-identical
+        for every worker count.
+        """
+        predictions = self.model.predict_classes(
+            x, batch_size=batch_size, workers=workers
+        )
         return accuracy(predictions, np.asarray(y, dtype=np.int64))
+
+
+class _MicroBatchPool:
+    """Thread replicas + executor for one data-parallel ``fit`` call.
+
+    Each worker thread checks a replica out of a queue, runs the
+    forward/loss/backward of one micro-batch inside its own
+    :func:`workspace_scope`, packs the replica's gradients into the
+    micro-batch's row of a shared stack, and returns the replica.  Which
+    thread computes which micro-batch never matters: replicas share the
+    parameter storage and the packing row is fixed by the micro-batch
+    index, so the reduction input is identical for every worker count.
+    """
+
+    def __init__(
+        self, model, flat: FlatParameterView, workers: int, arena: Workspace
+    ) -> None:
+        self._flat = flat
+        self._workers = max(1, workers)
+        self._stack: Optional[np.ndarray] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._replicas: "queue.SimpleQueue" = queue.SimpleQueue()
+        if self._workers == 1:
+            # serial: compute on the model itself (its arena is already bound)
+            self._model = model
+            self._arena = arena
+        else:
+            self._model = None
+            self._arena = None
+            for replica in training_replicas(model, self._workers):
+                workspace = Workspace()
+                workspace.bind(replica)
+                self._replicas.put((replica, workspace))
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-train"
+            )
+
+    def grad_stack(self, rows: int, size: int) -> np.ndarray:
+        if self._stack is None or self._stack.shape[0] < rows:
+            self._stack = np.empty((rows, size), dtype=np.float64)
+        return self._stack
+
+    def run(
+        self, xb: np.ndarray, yb: np.ndarray, slices, loss: Loss
+    ) -> List[Tuple[float, int]]:
+        """Per-micro-batch (loss contribution, correct count), in order."""
+        total = int(xb.shape[0])
+        stack = self.grad_stack(len(slices), self._flat.size)
+
+        def run_micro(index: int) -> Tuple[float, int]:
+            micro = slices[index]
+            if self._model is not None:
+                replica, workspace = self._model, self._arena
+            else:
+                replica, workspace = self._replicas.get()
+            try:
+                with workspace_scope():
+                    logits = replica.forward(xb[micro], training=True)
+                    value, grad = loss.value_and_gradient(
+                        logits, yb[micro], normalizer=total
+                    )
+                    workspace.reclaim(replica.backward(grad))
+                self._flat.pack_grads(model=replica, out=stack[index])
+                correct = int(np.sum(np.argmax(logits, axis=-1) == yb[micro]))
+                return value, correct
+            finally:
+                if self._model is None:
+                    self._replicas.put((replica, workspace))
+
+        indices = range(len(slices))
+        if self._executor is None or len(slices) == 1:
+            return [run_micro(i) for i in indices]
+        return list(self._executor.map(run_micro, indices))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

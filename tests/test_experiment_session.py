@@ -266,3 +266,15 @@ class TestResultPlumbing:
         serial = Session(store=store).run(spec, use_cache=False)
         sharded = Session(store=store).run(spec, workers=2, use_cache=False)
         assert np.array_equal(serial.grids[0].values, sharded.grids[0].values)
+
+
+class TestParameterKeyEscape:
+    def test_double_underscore_layer_names_rejected(self):
+        """'/' -> '__' escaping is lossy for keys holding '__'; storing such
+        a model would corrupt the cache key round-trip and silently retrain
+        on every run — the session must refuse loudly instead."""
+        from repro.experiments.session import _escape, _unescape
+
+        assert _unescape(_escape("dense_3/weight")) == "dense_3/weight"
+        with pytest.raises(ConfigurationError):
+            _escape("fc__out/weight")
