@@ -264,4 +264,8 @@ class AttackEngine:
             }
             for s, seed in zip(slices, seeds)
         ]
-        return ProcessShardPool(self.workers).map(_craft_shard_task, tasks)
+        # context manager: a crafting failure tears the spawn pool down
+        # instead of leaking worker processes; the happy path keeps the
+        # warm executor cached for the next sweep
+        with ProcessShardPool(self.workers) as pool:
+            return pool.map(_craft_shard_task, tasks)

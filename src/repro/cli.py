@@ -18,6 +18,10 @@ Subcommands
     List the attack registry (the paper's Table I).
 ``report``
     Generate EXPERIMENTS.md from the benchmark results directory.
+``verify``
+    Audit the artifact store: re-hash every artifact against its recorded
+    payload SHA-256, quarantine corrupted entries, sweep crashed writers'
+    temp files and expired leases.
 
 Examples::
 
@@ -71,6 +75,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         progress=_progress_printer if args.verbose else None,
         require_cached=True if args.require_cached else None,
+        checkpoint_every=args.checkpoint_every,
     )
     result = session.run(spec)
 
@@ -248,6 +253,23 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    findings = store.verify(repair=not args.no_repair)
+    entries = store.entries()
+    print(f"artifact store {store.root}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    if not findings:
+        print("verify: clean (every payload matches its recorded hash)")
+        return 0
+    for finding in findings:
+        action = "quarantined" if finding.quarantined else "found"
+        print(f"  [{action}] {finding.kind}/{finding.digest[:16]}: {finding.problem}")
+    print(f"verify: {len(findings)} problem(s) {'repaired' if not args.no_repair else 'found'}")
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report_generator import write_experiments_markdown
 
@@ -281,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--verbose", action="store_true", help="print per-stage cache hit/compute events"
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a training checkpoint every N epochs so an interrupted "
+        "run resumes bit-identically (default: $REPRO_CHECKPOINT_EVERY)",
     )
     add_workers_argument(run)
     run.set_defaults(func=_cmd_run)
@@ -340,6 +370,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results", default="benchmarks/results")
     report.add_argument("--output", default="EXPERIMENTS.md")
     report.set_defaults(func=_cmd_report)
+
+    verify = subparsers.add_parser(
+        "verify", help="audit the artifact store and quarantine corrupted entries"
+    )
+    verify.add_argument(
+        "--store",
+        default=None,
+        help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
+    )
+    verify.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="report problems without quarantining or sweeping debris",
+    )
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -32,4 +32,40 @@ class MissingArtifactError(ReproError):
     ``require_cached`` is set (e.g. via ``REPRO_REQUIRE_CACHED=1``) and a
     requested artifact is not in the store — the mechanism CI uses to assert
     that a repeated run is served entirely from the artifact store.
+
+    Carries enough context to act on the failure: the content hash of the
+    missing artifact (``digest``), the store path that was probed (``path``),
+    and — for trained models — the nearest available checkpoint epoch
+    (``checkpoint_epoch``), when a partially trained run left one behind.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = None,
+        digest: str = None,
+        path: str = None,
+        checkpoint_epoch: int = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.digest = digest
+        self.path = path
+        self.checkpoint_epoch = checkpoint_epoch
+
+
+class LeaseHeldError(ReproError):
+    """Raised when a single-writer store lease is held by a live writer."""
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when an operation exceeds its wall-clock deadline."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for misconfigured fault plans (never by an injected fault).
+
+    Injected faults raise the error type the plan scripts (``OSError`` by
+    default) so that production retry/recovery paths are exercised exactly
+    as a real failure would exercise them.
     """

@@ -35,13 +35,18 @@ from repro.experiments.spec import (
     panel_spec,
 )
 from repro.experiments.store import (
+    LEASE_TTL_ENV_VAR,
     STORE_ENV_VAR,
     ArtifactEntry,
     ArtifactStore,
+    Lease,
     StoreStats,
+    TrainingCheckpointer,
+    VerifyFinding,
     default_store_root,
 )
 from repro.experiments.session import (
+    CHECKPOINT_EVERY_ENV_VAR,
     REQUIRE_CACHED_ENV_VAR,
     ExperimentResult,
     ProgressEvent,
@@ -64,10 +69,15 @@ __all__ = [
     "ArtifactStore",
     "ArtifactEntry",
     "StoreStats",
+    "Lease",
+    "TrainingCheckpointer",
+    "VerifyFinding",
     "default_store_root",
     "STORE_ENV_VAR",
+    "LEASE_TTL_ENV_VAR",
     "Session",
     "ExperimentResult",
     "ProgressEvent",
     "REQUIRE_CACHED_ENV_VAR",
+    "CHECKPOINT_EVERY_ENV_VAR",
 ]

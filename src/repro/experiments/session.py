@@ -42,12 +42,13 @@ from repro.experiments.spec import (
     VictimSpec,
     content_hash,
 )
-from repro.experiments.store import ArtifactStore
+from repro.experiments.store import ArtifactStore, Lease, TrainingCheckpointer
 from repro.models.architectures import build_architecture
 from repro.models.zoo import TrainedModel
 from repro.nn import Adam, Trainer
 from repro.nn.model import Sequential
 from repro.nn.runtime import WorkerSpec, call_with_workers
+from repro.resilience import Deadline
 from repro.robustness.evaluator import AdversarialSuite
 from repro.robustness.quantization_analysis import (
     QuantizationComparison,
@@ -62,6 +63,9 @@ from repro.robustness.transferability import (
 
 #: environment variable that forbids training/crafting (cache-only mode)
 REQUIRE_CACHED_ENV_VAR = "REPRO_REQUIRE_CACHED"
+
+#: environment variable setting the default checkpoint cadence (epochs)
+CHECKPOINT_EVERY_ENV_VAR = "REPRO_CHECKPOINT_EVERY"
 
 #: version tag written into stored result payloads
 RESULT_VERSION = 1
@@ -83,8 +87,9 @@ class ProgressEvent:
     ``stage`` is one of ``"model"``, ``"train"`` (one event per training
     epoch, carrying loss/accuracy in ``detail``), ``"suite"``,
     ``"victims"``, ``"evaluate"`` or ``"result"``; ``status`` is ``"hit"``
-    (served from the store), ``"compute"`` (paid for) or ``"store"``
-    (written back).
+    (served from the store), ``"compute"`` (paid for), ``"store"``
+    (written back), ``"resume"`` (training restarted from a checkpoint)
+    or ``"wait"`` (blocked on another writer's training lease).
     """
 
     stage: str
@@ -236,6 +241,19 @@ class Session:
         When true, any step that would train or craft raises
         :class:`MissingArtifactError` instead.  Defaults to the
         ``REPRO_REQUIRE_CACHED`` environment variable.
+    checkpoint_every:
+        Epoch cadence for training checkpoints written into the store
+        (``None`` disables checkpointing).  Defaults to the
+        ``REPRO_CHECKPOINT_EVERY`` environment variable.  When set, an
+        interrupted :meth:`resolve_model` resumes from the latest valid
+        checkpoint with byte-identical final weights.
+    lease_training:
+        Claim a single-writer lease before training (default true).  When
+        another live writer holds the claim, this session polls the store
+        for the winner's artifact instead of duplicating the training run.
+    lease_timeout_s / lease_poll_s:
+        How long to wait on another writer before training anyway, and the
+        poll interval while waiting.
     """
 
     def __init__(
@@ -244,6 +262,10 @@ class Session:
         workers: WorkerSpec = None,
         progress: Optional[ProgressCallback] = None,
         require_cached: Optional[bool] = None,
+        checkpoint_every: Optional[int] = None,
+        lease_training: bool = True,
+        lease_timeout_s: float = 600.0,
+        lease_poll_s: float = 0.5,
     ) -> None:
         if isinstance(store, ArtifactStore):
             self.store = store
@@ -256,18 +278,72 @@ class Session:
                 REQUIRE_CACHED_ENV_VAR, ""
             ).strip().lower() not in ("", "0", "false", "no")
         self.require_cached = bool(require_cached)
+        if checkpoint_every is None:
+            raw = os.environ.get(CHECKPOINT_EVERY_ENV_VAR, "").strip()
+            if raw:
+                try:
+                    checkpoint_every = int(raw)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{CHECKPOINT_EVERY_ENV_VAR} must be an integer epoch "
+                        f"cadence, got {raw!r}"
+                    ) from None
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be a positive int, got {checkpoint_every!r}"
+            )
+        self.checkpoint_every = checkpoint_every
+        self.lease_training = bool(lease_training)
+        if lease_timeout_s < 0 or lease_poll_s <= 0:
+            raise ConfigurationError(
+                "lease_timeout_s must be >= 0 and lease_poll_s > 0, got "
+                f"{lease_timeout_s!r} / {lease_poll_s!r}"
+            )
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.lease_poll_s = float(lease_poll_s)
 
     # -------------------------------------------------------------- plumbing
     def _emit(self, stage: str, status: str, detail: str) -> None:
         if self.progress is not None:
             self.progress(ProgressEvent(stage=stage, status=status, detail=detail))
 
-    def _forbid_compute(self, what: str, detail: str) -> None:
-        if self.require_cached:
-            raise MissingArtifactError(
-                f"cache-only session would have to {what} ({detail}); "
-                f"unset {REQUIRE_CACHED_ENV_VAR} or warm the store first"
-            )
+    def _forbid_compute(
+        self,
+        what: str,
+        detail: str,
+        kind: Optional[str] = None,
+        digest: Optional[str] = None,
+        max_epoch: Optional[int] = None,
+    ) -> None:
+        if not self.require_cached:
+            return
+        path = None
+        checkpoint_epoch = None
+        clauses = [
+            f"cache-only session would have to {what} ({detail}); "
+            f"unset {REQUIRE_CACHED_ENV_VAR} or warm the store first"
+        ]
+        if kind is not None and digest is not None:
+            path = self.store._path(kind, digest, ".npz")
+            clauses.append(f"spec hash {digest}")
+            clauses.append(f"probed {path}")
+            if max_epoch is not None:
+                checkpoint_epoch = TrainingCheckpointer(
+                    self.store, digest
+                ).latest_epoch(max_epoch)
+                if checkpoint_epoch is not None:
+                    clauses.append(
+                        f"nearest checkpoint: epoch {checkpoint_epoch}/{max_epoch}"
+                    )
+                else:
+                    clauses.append("no checkpoints found")
+        raise MissingArtifactError(
+            "; ".join(clauses),
+            kind=kind,
+            digest=digest,
+            path=path,
+            checkpoint_epoch=checkpoint_epoch,
+        )
 
     # -------------------------------------------------------------- datasets
     def resolve_dataset(self, model_spec: ModelSpec) -> Dataset:
@@ -316,62 +392,149 @@ class Session:
                     _escape(f"{layer.name}/{pname}")
         digest = model_spec.content_hash()
         if use_cache:
-            arrays = self.store.get_arrays("model", digest)
-            if arrays is not None:
-                try:
-                    accuracy = float(arrays.pop(_ACCURACY_KEY))
-                    model.load_state_dict(
-                        {_unescape(key): value for key, value in arrays.items()}
-                    )
-                except Exception:
-                    # weights written by an incompatible build (e.g. changed
-                    # layer shapes) are a miss, not a crash: evict, retrain
-                    self.store.evict("model", digest)
-                else:
-                    self._emit(
-                        "model", "hit", f"{model_spec.architecture} {digest[:12]}"
-                    )
-                    return TrainedModel(
-                        model=model, dataset=dataset, test_accuracy=accuracy
-                    )
+            trained = self._load_cached_model(model_spec, model, dataset, digest)
+            if trained is not None:
+                return trained
         self._forbid_compute(
-            "train", f"{model_spec.architecture} on {model_spec.dataset}"
+            "train",
+            f"{model_spec.architecture} on {model_spec.dataset}",
+            kind="model",
+            digest=digest,
+            max_epoch=model_spec.epochs,
         )
-        self._emit("model", "compute", f"training {model_spec.architecture}")
-        workers = workers if workers is not None else self.workers
+        lease: Optional[Lease] = None
+        if use_cache and self.lease_training:
+            lease, trained = self._claim_training(model_spec, model, dataset, digest)
+            if trained is not None:
+                return trained
+        try:
+            self._emit("model", "compute", f"training {model_spec.architecture}")
+            workers = workers if workers is not None else self.workers
 
-        def on_epoch(epoch: int, metrics: Dict[str, float]) -> None:
-            self._emit(
-                "train",
-                "compute",
-                f"epoch {epoch}/{model_spec.epochs} "
-                f"loss={metrics['train_loss']:.4f} "
-                f"acc={metrics['train_accuracy']:.4f}",
+            def on_epoch(epoch: int, metrics: Dict[str, float]) -> None:
+                if lease is not None:
+                    lease.refresh()
+                if self.progress is not None:
+                    self._emit(
+                        "train",
+                        "compute",
+                        f"epoch {epoch}/{model_spec.epochs} "
+                        f"loss={metrics['train_loss']:.4f} "
+                        f"acc={metrics['train_accuracy']:.4f}",
+                    )
+
+            checkpointer = None
+            if use_cache and self.checkpoint_every is not None:
+                checkpointer = TrainingCheckpointer(
+                    self.store,
+                    digest,
+                    every=self.checkpoint_every,
+                    meta=model_spec.to_dict(),
+                )
+                resume_epoch = checkpointer.latest_epoch(model_spec.epochs)
+                if resume_epoch:
+                    self._emit(
+                        "model",
+                        "resume",
+                        f"epoch {resume_epoch}/{model_spec.epochs} {digest[:12]}",
+                    )
+            trainer = Trainer(
+                model, optimizer=Adam(model_spec.learning_rate), seed=model_spec.seed
             )
+            trainer.fit(
+                dataset.train.images,
+                dataset.train.labels,
+                epochs=model_spec.epochs,
+                batch_size=model_spec.batch_size,
+                shuffle=True,
+                workers=workers,
+                on_epoch=(
+                    on_epoch
+                    if (self.progress is not None or lease is not None)
+                    else None
+                ),
+                checkpoint=checkpointer,
+            )
+            accuracy = trainer.evaluate(
+                dataset.test.images, dataset.test.labels, workers=workers
+            )
+            if use_cache:
+                arrays = {
+                    _escape(key): value for key, value in model.state_dict().items()
+                }
+                arrays[_ACCURACY_KEY] = np.float64(accuracy)
+                self.store.put_arrays(
+                    "model", digest, arrays, meta=model_spec.to_dict()
+                )
+                self._emit("model", "store", digest[:12])
+            return TrainedModel(model=model, dataset=dataset, test_accuracy=accuracy)
+        finally:
+            if lease is not None:
+                lease.release()
 
-        trainer = Trainer(
-            model, optimizer=Adam(model_spec.learning_rate), seed=model_spec.seed
-        )
-        trainer.fit(
-            dataset.train.images,
-            dataset.train.labels,
-            epochs=model_spec.epochs,
-            batch_size=model_spec.batch_size,
-            shuffle=True,
-            workers=workers,
-            on_epoch=on_epoch if self.progress is not None else None,
-        )
-        accuracy = trainer.evaluate(
-            dataset.test.images, dataset.test.labels, workers=workers
-        )
-        if use_cache:
-            arrays = {
-                _escape(key): value for key, value in model.state_dict().items()
-            }
-            arrays[_ACCURACY_KEY] = np.float64(accuracy)
-            self.store.put_arrays("model", digest, arrays, meta=model_spec.to_dict())
-            self._emit("model", "store", digest[:12])
+    def _load_cached_model(
+        self,
+        model_spec: ModelSpec,
+        model: Sequential,
+        dataset: Dataset,
+        digest: str,
+    ) -> Optional[TrainedModel]:
+        """Load the stored weights into ``model``, or ``None`` on a miss."""
+        arrays = self.store.get_arrays("model", digest)
+        if arrays is None:
+            return None
+        try:
+            accuracy = float(arrays.pop(_ACCURACY_KEY))
+            model.load_state_dict(
+                {_unescape(key): value for key, value in arrays.items()}
+            )
+        except Exception:
+            # weights written by an incompatible build (e.g. changed
+            # layer shapes) are a miss, not a crash: evict, retrain
+            self.store.evict("model", digest)
+            return None
+        self._emit("model", "hit", f"{model_spec.architecture} {digest[:12]}")
         return TrainedModel(model=model, dataset=dataset, test_accuracy=accuracy)
+
+    def _claim_training(
+        self,
+        model_spec: ModelSpec,
+        model: Sequential,
+        dataset: Dataset,
+        digest: str,
+    ) -> Tuple[Optional[Lease], Optional[TrainedModel]]:
+        """Claim the single-writer training lease on *(model, digest)*.
+
+        Returns ``(lease, None)`` when this session won the claim,
+        ``(None, trained)`` when another writer finished first (its artifact
+        was loaded from the store while waiting), and ``(None, None)`` when
+        the wait timed out — the caller then trains leaseless, which
+        duplicates work but stays correct (last atomic write wins and both
+        writers produce identical bytes).
+        """
+        lease = self.store.lease("model", digest)
+        if lease.acquire():
+            return lease, None
+        holder = lease.holder() or {}
+        self._emit(
+            "model",
+            "wait",
+            f"{digest[:12]} leased by {holder.get('owner', 'unknown')}",
+        )
+        deadline = Deadline(self.lease_timeout_s)
+        while not deadline.expired():
+            time.sleep(min(self.lease_poll_s, deadline.remaining() or 0.0) or 0.001)
+            trained = self._load_cached_model(model_spec, model, dataset, digest)
+            if trained is not None:
+                return None, trained
+            if lease.acquire():
+                # the other writer crashed or released without storing an
+                # artifact: take over the claim and train here
+                return lease, None
+        self._emit(
+            "model", "wait", f"lease wait timed out; training {digest[:12]} anyway"
+        )
+        return None, None
 
     # ---------------------------------------------------------------- suites
     @staticmethod
@@ -428,7 +591,12 @@ class Session:
                 else:
                     self._emit("suite", "hit", f"{attack_spec.attack} {digest[:12]}")
                     return suite
-        self._forbid_compute("craft", f"{attack_spec.attack} x{sweep.n_samples}")
+        self._forbid_compute(
+            "craft",
+            f"{attack_spec.attack} x{sweep.n_samples}",
+            kind="suite",
+            digest=digest,
+        )
         if trained is None:
             trained = self.resolve_model(
                 model_spec, use_cache=use_cache, workers=workers

@@ -10,34 +10,67 @@ and sharing a store between runs, processes or CI jobs is free.
 
 Layout::
 
-    <root>/<kind>/<digest[:2]>/<digest>.npz        array artifacts
-    <root>/<kind>/<digest[:2]>/<digest>.json       JSON artifacts
-    <root>/<kind>/<digest[:2]>/<digest>.meta.json  provenance sidecar
+    <root>/<kind>/<digest[:2]>/<digest>.npz         array artifacts
+    <root>/<kind>/<digest[:2]>/<digest>.json        JSON artifacts
+    <root>/<kind>/<digest[:2]>/<digest>.meta.json   provenance + payload hash
+    <root>/<kind>/<digest[:2]>/<digest>.lease.json  single-writer claim
+    <root>/.quarantine/<kind>/<digest>.*            artifacts verify() failed
 
 The root defaults to ``$REPRO_ARTIFACT_DIR`` when set, else
-``~/.cache/repro``.  Writes are atomic (temp file + ``os.replace``), so a
-crashed or concurrent writer never leaves a torn artifact; readers treat
-unreadable entries as misses.
+``~/.cache/repro``.
+
+Fault tolerance (the resilience layer, PR 6):
+
+* Writes are atomic (temp file + ``os.replace``) and *retried* under a
+  :class:`repro.resilience.RetryPolicy` on transient IO errors, so a flaky
+  filesystem costs a deterministic backoff, not a crashed run.
+* Every payload's SHA-256 is recorded in the meta sidecar at put time;
+  :meth:`ArtifactStore.verify` re-hashes the store and *quarantines*
+  truncated or bit-rotted entries (readers also quarantine entries they
+  fail to load), so the next ``Session.run`` recomputes instead of
+  crashing.
+* :meth:`ArtifactStore.lease` hands out single-writer lease files with
+  expiry and takeover — the claim mechanism that lets N hosts fill one
+  shared store without duplicate training.
+* :class:`TrainingCheckpointer` stores epoch-granular training state keyed
+  by *(model digest, epoch)* so an interrupted ``Trainer.fit`` resumes with
+  byte-identical results.
+* The store consults the fault points ``store.write``, ``store.read`` and
+  ``store.corrupt`` (see :class:`repro.resilience.FaultInjector`), which is
+  how the chaos suite drives all of the above without monkeypatching.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import secrets
+import socket
 import tempfile
 import threading
 import time
 import zipfile
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LeaseHeldError
+from repro.resilience import FaultInjector, RetryPolicy, corrupt_file
 
 #: environment variable overriding the default store root
 STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+#: environment variable overriding the default lease time-to-live (seconds)
+LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL"
+
+#: default single-writer lease time-to-live
+DEFAULT_LEASE_TTL_S = 900.0
+
+#: directory (under the root) holding quarantined artifacts
+QUARANTINE_DIR = ".quarantine"
 
 _HEX_DIGITS = frozenset("0123456789abcdef")
 
@@ -50,6 +83,22 @@ def default_store_root() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
+def default_lease_ttl_s() -> float:
+    """The lease TTL: ``$REPRO_LEASE_TTL`` seconds or 900."""
+    override = os.environ.get(LEASE_TTL_ENV_VAR)
+    if not override:
+        return DEFAULT_LEASE_TTL_S
+    try:
+        ttl = float(override)
+    except ValueError:
+        raise ConfigurationError(
+            f"{LEASE_TTL_ENV_VAR} must be a number of seconds, got {override!r}"
+        ) from None
+    if ttl <= 0:
+        raise ConfigurationError(f"{LEASE_TTL_ENV_VAR} must be positive, got {ttl}")
+    return ttl
+
+
 @dataclass
 class StoreStats:
     """Hit/miss/put counters of one :class:`ArtifactStore` instance."""
@@ -58,6 +107,8 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    retries: int = 0
+    quarantined: int = 0
 
     def snapshot(self) -> dict:
         """The counters as a plain dict."""
@@ -66,6 +117,8 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
         }
 
 
@@ -78,6 +131,17 @@ class ArtifactEntry:
     path: str
     size_bytes: int
     mtime: float
+
+
+@dataclass(frozen=True)
+class VerifyFinding:
+    """One problem :meth:`ArtifactStore.verify` found (and what it did)."""
+
+    kind: str
+    digest: str
+    path: str
+    problem: str
+    quarantined: bool
 
 
 def _validate_key(kind: str, digest: str) -> None:
@@ -93,25 +157,169 @@ def _validate_key(kind: str, digest: str) -> None:
         )
 
 
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class Lease:
+    """A single-writer claim on one artifact key, backed by a lease file.
+
+    Acquisition is atomic (``O_CREAT | O_EXCL``); an expired lease — its
+    writer crashed or lost the host — is *taken over* by atomically
+    replacing the file and confirming ownership on read-back, so two
+    racing claimants resolve to exactly one winner.  Holders should
+    :meth:`refresh` within the TTL for long computations (the Session
+    refreshes once per training epoch).
+
+    Use as a context manager (raises :class:`LeaseHeldError` when the claim
+    is lost to a live holder) or poll :meth:`acquire` directly.
+    """
+
+    def __init__(self, path: str, ttl_s: float, owner: Optional[str] = None) -> None:
+        if ttl_s <= 0:
+            raise ConfigurationError(f"lease ttl_s must be positive, got {ttl_s}")
+        self.path = path
+        self.ttl_s = float(ttl_s)
+        self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
+        self._token = secrets.token_hex(8)
+        self._held = False
+
+    # -------------------------------------------------------------- helpers
+    def _payload(self) -> bytes:
+        now = time.time()
+        doc = {
+            "owner": self.owner,
+            "token": self._token,
+            "pid": os.getpid(),
+            "acquired": now,
+            "expires": now + self.ttl_s,
+        }
+        return json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")
+
+    def holder(self) -> Optional[dict]:
+        """The current lease document, or ``None`` when unclaimed/unreadable."""
+        try:
+            with open(self.path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def held_by_self(self) -> bool:
+        holder = self.holder()
+        return bool(holder) and holder.get("token") == self._token
+
+    # ------------------------------------------------------------------ API
+    def acquire(self) -> bool:
+        """Try to claim the lease (non-blocking); True on success.
+
+        A missing lease file is claimed atomically; an *expired* one is
+        taken over.  A live lease held by someone else returns False.
+        """
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        try:
+            descriptor = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder = self.holder()
+            if holder is not None and holder.get("expires", 0) > time.time():
+                return False
+            # expired (or unreadable) lease: take over atomically and confirm
+            # ownership on read-back — of two racing replacers exactly one
+            # token survives in the file
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(self.path), prefix=".tmp-lease-"
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(self._payload())
+                os.replace(temp_path, self.path)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+                raise
+            self._held = self.held_by_self()
+            return self._held
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(self._payload())
+        self._held = True
+        return True
+
+    def refresh(self) -> bool:
+        """Extend the expiry of a lease this object holds; False if lost."""
+        if not self._held or not self.held_by_self():
+            self._held = False
+            return False
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(self.path), prefix=".tmp-lease-"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(self._payload())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return True
+
+    def release(self) -> None:
+        """Drop the claim (only when still held by this object)."""
+        if self._held and self.held_by_self():
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        self._held = False
+
+    def __enter__(self) -> "Lease":
+        if not self.acquire():
+            holder = self.holder() or {}
+            raise LeaseHeldError(
+                f"lease {self.path} is held by {holder.get('owner', 'unknown')} "
+                f"until {holder.get('expires', 0):.0f}"
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
 class ArtifactStore:
     """Content-addressed artifact cache rooted at a directory.
 
     Array artifacts travel as ``dict[str, np.ndarray]`` (stored as ``.npz``);
-    JSON artifacts as plain JSON-serialisable payloads.  Every ``put`` may
-    attach a ``meta`` payload (typically the producing spec's ``to_dict()``),
-    written as a sidecar for provenance and debugging.
+    JSON artifacts as plain JSON-serialisable payloads.  Every ``put``
+    writes a meta sidecar carrying the payload's SHA-256 (for
+    :meth:`verify`) plus an optional ``meta`` payload (typically the
+    producing spec's ``to_dict()``) for provenance and debugging.
+
+    ``retry`` governs transient-IO retries on every read and write
+    (default: :meth:`RetryPolicy.from_env`, honouring ``REPRO_MAX_RETRIES``
+    / ``REPRO_RETRY_BACKOFF``).
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self, root: Optional[str] = None, retry: Optional[RetryPolicy] = None
+    ) -> None:
         self.root = os.path.abspath(root if root is not None else default_store_root())
         self.stats = StoreStats()
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
         self._lock = threading.Lock()
         os.makedirs(self.root, exist_ok=True)
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats.retries += 1
 
     # ----------------------------------------------------------------- paths
     def _path(self, kind: str, digest: str, extension: str) -> str:
         _validate_key(kind, digest)
         return os.path.join(self.root, kind, digest[:2], f"{digest}{extension}")
+
+    def _quarantine_path(self, kind: str, name: str) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR, kind, name)
 
     def _payload_path(self, kind: str, digest: str) -> Optional[str]:
         for extension in (".npz", ".json"):
@@ -120,30 +328,53 @@ class ArtifactStore:
                 return path
         return None
 
-    @staticmethod
-    def _atomic_write(path: str, writer) -> None:
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                writer(handle)
-            os.replace(temp_path, path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
+    def _atomic_write(self, path: str, writer) -> str:
+        """Write atomically (with fault seam + retry); returns the payload hash."""
 
-    def _write_meta(self, kind: str, digest: str, meta: Optional[dict]) -> None:
-        if meta is None:
-            return
-        payload = {"kind": kind, "digest": digest, "created": time.time(), "meta": meta}
+        def attempt() -> str:
+            FaultInjector.consult("store.write")
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    writer(handle)
+                payload_hash = _sha256_file(temp_path)
+                os.replace(temp_path, path)
+            except BaseException:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+                raise
+            return payload_hash
+
+        return self.retry.run(
+            attempt, description=f"store write {path}", on_retry=self._count_retry
+        )
+
+    def _write_meta(
+        self, kind: str, digest: str, meta: Optional[dict], payload_hash: str
+    ) -> None:
+        payload = {
+            "kind": kind,
+            "digest": digest,
+            "created": time.time(),
+            "payload_sha256": payload_hash,
+            "meta": meta,
+        }
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
         self._atomic_write(
             self._path(kind, digest, ".meta.json"), lambda handle: handle.write(body)
         )
+
+    def _apply_corrupt_fault(self, path: str) -> None:
+        # chaos seam: a scripted plan flips payload bytes *after* a
+        # successful atomic write — the torn/bit-rotted artifact verify()
+        # and the readers must survive
+        rule = FaultInjector.consult("store.corrupt")
+        if rule is not None and rule.action == "corrupt":
+            corrupt_file(path, offset=rule.corrupt_offset, n_bytes=rule.corrupt_bytes)
 
     # ------------------------------------------------------------------- API
     def has(self, kind: str, digest: str) -> bool:
@@ -151,19 +382,33 @@ class ArtifactStore:
         return self._payload_path(kind, digest) is not None
 
     def get_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
-        """Load an array artifact, or ``None`` on a miss."""
+        """Load an array artifact, or ``None`` on a miss.
+
+        Transient IO errors are retried; an entry that still cannot be read
+        (torn, truncated, bit-rotted) is quarantined and reported as a miss,
+        so the caller recomputes instead of crashing.
+        """
         path = self._path(kind, digest, ".npz")
+
+        def attempt() -> Dict[str, np.ndarray]:
+            FaultInjector.consult("store.read")
+            with np.load(path) as archive:
+                return {key: archive[key] for key in archive.files}
+
         with self._lock:
             if not os.path.exists(path):
                 self.stats.misses += 1
                 return None
             try:
-                with np.load(path) as archive:
-                    arrays = {key: archive[key] for key in archive.files}
+                arrays = self.retry.run(
+                    attempt,
+                    description=f"store read {kind}/{digest[:12]}",
+                    on_retry=self._count_retry,
+                )
             except (OSError, ValueError, zipfile.BadZipFile, zlib.error):
-                # torn or corrupted entry: drop it and report a miss
+                # torn or corrupted entry: quarantine it and report a miss
                 self.stats.misses += 1
-                self._unlink_entry(kind, digest)
+                self._quarantine_entry(kind, digest)
                 return None
             self.stats.hits += 1
             return arrays
@@ -180,24 +425,36 @@ class ArtifactStore:
             raise ConfigurationError("array artifacts must contain at least one array")
         path = self._path(kind, digest, ".npz")
         with self._lock:
-            self._atomic_write(path, lambda handle: np.savez(handle, **arrays))
-            self._write_meta(kind, digest, meta)
+            payload_hash = self._atomic_write(
+                path, lambda handle: np.savez(handle, **arrays)
+            )
+            self._write_meta(kind, digest, meta, payload_hash)
             self.stats.puts += 1
+            self._apply_corrupt_fault(path)
         return path
 
     def get_json(self, kind: str, digest: str):
-        """Load a JSON artifact, or ``None`` on a miss."""
+        """Load a JSON artifact, or ``None`` on a miss (see :meth:`get_arrays`)."""
         path = self._path(kind, digest, ".json")
+
+        def attempt():
+            FaultInjector.consult("store.read")
+            with open(path) as handle:
+                return json.load(handle)
+
         with self._lock:
             if not os.path.exists(path):
                 self.stats.misses += 1
                 return None
             try:
-                with open(path) as handle:
-                    payload = json.load(handle)
+                payload = self.retry.run(
+                    attempt,
+                    description=f"store read {kind}/{digest[:12]}",
+                    on_retry=self._count_retry,
+                )
             except (OSError, ValueError):
                 self.stats.misses += 1
-                self._unlink_entry(kind, digest)
+                self._quarantine_entry(kind, digest)
                 return None
             self.stats.hits += 1
             return payload
@@ -207,9 +464,10 @@ class ArtifactStore:
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
         path = self._path(kind, digest, ".json")
         with self._lock:
-            self._atomic_write(path, lambda handle: handle.write(body))
-            self._write_meta(kind, digest, meta)
+            payload_hash = self._atomic_write(path, lambda handle: handle.write(body))
+            self._write_meta(kind, digest, meta, payload_hash)
             self.stats.puts += 1
+            self._apply_corrupt_fault(path)
         return path
 
     def get_meta(self, kind: str, digest: str) -> Optional[dict]:
@@ -223,15 +481,56 @@ class ArtifactStore:
         except (OSError, ValueError):
             return None
 
+    # --------------------------------------------------------------- leases
+    def lease(
+        self,
+        kind: str,
+        digest: str,
+        ttl_s: Optional[float] = None,
+        owner: Optional[str] = None,
+    ) -> Lease:
+        """A single-writer :class:`Lease` on one artifact key.
+
+        The multi-host claim mechanism: before paying for an expensive
+        computation, a writer claims *(kind, digest)*; other hosts seeing a
+        live lease poll the store for the winner's artifact instead of
+        duplicating the work.  TTL defaults to ``$REPRO_LEASE_TTL`` or 900
+        seconds; holders of long computations refresh per epoch.
+        """
+        return Lease(
+            self._path(kind, digest, ".lease.json"),
+            ttl_s if ttl_s is not None else default_lease_ttl_s(),
+            owner=owner,
+        )
+
     # ------------------------------------------------------------ management
     def _unlink_entry(self, kind: str, digest: str) -> bool:
         removed = False
-        for extension in (".npz", ".json", ".meta.json"):
+        for extension in (".npz", ".json", ".meta.json", ".lease.json"):
             path = self._path(kind, digest, extension)
             if os.path.exists(path):
                 os.unlink(path)
                 removed = True
         return removed
+
+    def _quarantine_entry(self, kind: str, digest: str) -> bool:
+        """Move an artifact (payload + sidecar) into the quarantine area.
+
+        Quarantined entries read as misses — the next run recomputes — but
+        the bytes are preserved for debugging instead of being destroyed.
+        """
+        moved = False
+        for extension in (".npz", ".json", ".meta.json"):
+            path = self._path(kind, digest, extension)
+            if not os.path.exists(path):
+                continue
+            target = self._quarantine_path(kind, os.path.basename(path))
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            os.replace(path, target)
+            moved = True
+        if moved:
+            self.stats.quarantined += 1
+        return moved
 
     def evict(self, kind: str, digest: str) -> bool:
         """Remove one artifact (and its sidecar); True when something was removed."""
@@ -250,18 +549,22 @@ class ArtifactStore:
         return evicted
 
     def entries(self) -> List[ArtifactEntry]:
-        """Every stored artifact, oldest first."""
+        """Every stored artifact, oldest first (leases and sidecars excluded)."""
         found: List[ArtifactEntry] = []
         for kind in sorted(os.listdir(self.root)) if os.path.isdir(self.root) else []:
             kind_dir = os.path.join(self.root, kind)
-            if not os.path.isdir(kind_dir):
+            if kind.startswith(".") or not os.path.isdir(kind_dir):
                 continue
             for shard in sorted(os.listdir(kind_dir)):
                 shard_dir = os.path.join(kind_dir, shard)
                 if not os.path.isdir(shard_dir):
                     continue
                 for name in sorted(os.listdir(shard_dir)):
-                    if name.endswith(".meta.json") or name.startswith(".tmp-"):
+                    if (
+                        name.endswith(".meta.json")
+                        or name.endswith(".lease.json")
+                        or name.startswith(".tmp-")
+                    ):
                         continue
                     digest, _ = os.path.splitext(name)
                     path = os.path.join(shard_dir, name)
@@ -289,7 +592,10 @@ class ArtifactStore:
         """Evict oldest artifacts until the store fits ``max_bytes``.
 
         Returns the evicted entries (oldest first).  ``max_bytes=0`` empties
-        the store.
+        the store.  Each candidate is re-stat'ed immediately before its
+        unlink and skipped when touched since the scan (size or mtime
+        moved), so LRU eviction can never delete an artifact a concurrent
+        writer is replacing mid-write.
         """
         if max_bytes < 0:
             raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -299,10 +605,175 @@ class ArtifactStore:
         for entry in entries:
             if total <= max_bytes:
                 break
+            try:
+                stat = os.stat(entry.path)
+            except OSError:
+                # already gone (raced eviction): its bytes no longer count
+                total -= entry.size_bytes
+                continue
+            if stat.st_mtime != entry.mtime or int(stat.st_size) != entry.size_bytes:
+                # touched since the scan — a concurrent writer refreshed it;
+                # deleting now could tear their artifact, and it is no
+                # longer the LRU candidate the scan believed it was
+                continue
             if self.evict(entry.kind, entry.digest):
                 total -= entry.size_bytes
                 evicted.append(entry)
         return evicted
 
+    # ---------------------------------------------------------------- verify
+    def verify(self, repair: bool = True) -> List[VerifyFinding]:
+        """Audit every artifact; quarantine the broken ones (when ``repair``).
+
+        Detects entries that fail to parse (truncated/torn payloads) and
+        entries whose bytes do not match the SHA-256 recorded in their meta
+        sidecar (bit rot, partial overwrites).  Also sweeps leftover
+        ``.tmp-*`` files from crashed writers and expired lease files.
+        Returns the findings; an empty list means a clean store.
+        """
+        findings: List[VerifyFinding] = []
+        with self._lock:
+            for entry in self.entries():
+                problem = self._check_entry(entry)
+                if problem is None:
+                    continue
+                quarantined = False
+                if repair:
+                    quarantined = self._quarantine_entry(entry.kind, entry.digest)
+                findings.append(
+                    VerifyFinding(
+                        kind=entry.kind,
+                        digest=entry.digest,
+                        path=entry.path,
+                        problem=problem,
+                        quarantined=quarantined,
+                    )
+                )
+            if repair:
+                self._sweep_debris()
+        return findings
+
+    def _check_entry(self, entry: ArtifactEntry) -> Optional[str]:
+        meta = self.get_meta(entry.kind, entry.digest)
+        expected = (meta or {}).get("payload_sha256")
+        if expected is not None:
+            try:
+                actual = _sha256_file(entry.path)
+            except OSError as exc:
+                return f"unreadable: {exc}"
+            if actual != expected:
+                return f"payload hash mismatch (expected {expected[:12]}, got {actual[:12]})"
+            return None
+        # no recorded hash (artifact predates hashing): fall back to a parse
+        try:
+            if entry.path.endswith(".npz"):
+                with np.load(entry.path) as archive:
+                    for key in archive.files:
+                        archive[key]
+            else:
+                with open(entry.path) as handle:
+                    json.load(handle)
+        except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+            return f"unparseable: {type(exc).__name__}: {exc}"
+        return None
+
+    def _sweep_debris(self) -> None:
+        """Remove crashed writers' temp files and expired lease files."""
+        now = time.time()
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if QUARANTINE_DIR in dirpath.split(os.sep):
+                continue
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                try:
+                    if name.startswith(".tmp-"):
+                        # a live writer's temp file is seconds old; anything
+                        # older is debris from a crash
+                        if now - os.path.getmtime(path) > 60.0:
+                            os.unlink(path)
+                    elif name.endswith(".lease.json"):
+                        with open(path) as handle:
+                            doc = json.load(handle)
+                        if doc.get("expires", 0) <= now:
+                            os.unlink(path)
+                except (OSError, ValueError):  # pragma: no cover - raced
+                    continue
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore(root={self.root!r})"
+
+
+class TrainingCheckpointer:
+    """Epoch-granular training checkpoints in an :class:`ArtifactStore`.
+
+    Checkpoints are keyed by *(model digest, epoch)* — the model digest is
+    the :class:`~repro.experiments.spec.ModelSpec` content hash, so a
+    checkpoint can only ever be resumed by the exact training run that
+    wrote it.  :class:`repro.nn.trainer.Trainer` captures/restores the
+    state arrays; this class only names, stores and finds them.
+    """
+
+    KIND = "checkpoint"
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        model_digest: str,
+        every: int = 1,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if not isinstance(every, int) or isinstance(every, bool) or every < 1:
+            raise ConfigurationError(
+                f"checkpoint cadence must be a positive int, got {every!r}"
+            )
+        self.store = store
+        self.model_digest = model_digest
+        self.every = every
+        self.meta = meta
+
+    def digest(self, epoch: int) -> str:
+        """The content digest of one epoch's checkpoint."""
+        return hashlib.sha256(
+            f"checkpoint\x00{self.model_digest}\x00{int(epoch)}".encode()
+        ).hexdigest()
+
+    def save(self, epoch: int, arrays: Dict[str, np.ndarray]) -> str:
+        """Store one epoch's state; returns the payload path."""
+        meta = {"model": self.model_digest, "epoch": int(epoch)}
+        if self.meta:
+            meta["spec"] = self.meta
+        return self.store.put_arrays(self.KIND, self.digest(epoch), arrays, meta=meta)
+
+    def load_latest(
+        self, max_epoch: int
+    ) -> Optional[Tuple[int, Dict[str, np.ndarray]]]:
+        """The newest loadable checkpoint at or below ``max_epoch``.
+
+        Probes newest-first; a corrupted checkpoint is quarantined by the
+        store's read path and the probe falls back to the previous epoch —
+        a damaged latest checkpoint costs one extra epoch of recompute, not
+        the whole run.
+        """
+        for epoch in range(int(max_epoch), 0, -1):
+            digest = self.digest(epoch)
+            if not self.store.has(self.KIND, digest):
+                continue
+            arrays = self.store.get_arrays(self.KIND, digest)
+            if arrays is not None:
+                return epoch, arrays
+        return None
+
+    def latest_epoch(self, max_epoch: int) -> Optional[int]:
+        """The newest epoch with a checkpoint present (no payload read)."""
+        for epoch in range(int(max_epoch), 0, -1):
+            if self.store.has(self.KIND, self.digest(epoch)):
+                return epoch
+        return None
+
+    def clear(self, max_epoch: int) -> int:
+        """Evict every checkpoint up to ``max_epoch``; returns the count."""
+        evicted = 0
+        for epoch in range(1, int(max_epoch) + 1):
+            if self.store.evict(self.KIND, self.digest(epoch)):
+                evicted += 1
+        return evicted

@@ -113,6 +113,25 @@ class Optimizer:
         self._guard_state_layout(flat=True)
         self._update_flat(params, grads)
 
+    def state_flat(self) -> Dict[str, np.ndarray]:
+        """The flat-path optimizer state as named arrays (for checkpoints).
+
+        Only state written by :meth:`step_flat` is covered — checkpointing
+        requires the arena runtime, whose fused step always takes the flat
+        path for flat-capable optimizers.  Stateless optimizers return an
+        empty dict.  Scalars (Adam's step count) travel as 0-d arrays.
+        """
+        return {}
+
+    def load_state_flat(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore flat-path state captured by :meth:`state_flat`."""
+        if arrays:
+            raise ConfigurationError(
+                f"{type(self).__name__} is stateless but a checkpoint carries "
+                f"optimizer state {sorted(arrays)}; the optimizer type changed "
+                f"since the checkpoint was written"
+            )
+
     def _update(
         self, layer: Layer, name: str, value: np.ndarray, grad: np.ndarray
     ) -> None:
@@ -153,6 +172,17 @@ class SGD(Optimizer):
 
     def _state_maps(self):
         return (self._velocity,)
+
+    def state_flat(self):
+        velocity = self._velocity.get(_FLAT_KEY)
+        if velocity is None:
+            return {}
+        return {"velocity": velocity.copy()}
+
+    def load_state_flat(self, arrays):
+        self._guard_state_layout(flat=True)
+        if "velocity" in arrays:
+            self._velocity[_FLAT_KEY] = np.array(arrays["velocity"], dtype=np.float64)
 
     def _update(self, layer, name, value, grad):
         if self.weight_decay:
@@ -218,6 +248,24 @@ class Adam(Optimizer):
 
     def _state_maps(self):
         return (self._m, self._v, self._t)
+
+    def state_flat(self):
+        m = self._m.get(_FLAT_KEY)
+        if m is None:
+            return {}
+        return {
+            "m": m.copy(),
+            "v": self._v[_FLAT_KEY].copy(),
+            "t": np.int64(self._t.get(_FLAT_KEY, 0)),
+        }
+
+    def load_state_flat(self, arrays):
+        self._guard_state_layout(flat=True)
+        if "m" not in arrays:
+            return
+        self._m[_FLAT_KEY] = np.array(arrays["m"], dtype=np.float64)
+        self._v[_FLAT_KEY] = np.array(arrays["v"], dtype=np.float64)
+        self._t[_FLAT_KEY] = int(arrays["t"])
 
     def _update(self, layer, name, value, grad):
         if self.weight_decay:

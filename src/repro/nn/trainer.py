@@ -23,6 +23,7 @@ evaluation passes.
 
 from __future__ import annotations
 
+import json
 import queue
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -31,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.resilience import FaultInjector
 from repro.nn.engine import (
     FlatParameterView,
     Workspace,
@@ -49,6 +51,18 @@ from repro.nn.runtime import WorkerSpec, resolve_workers, validate_batch_size
 
 #: called after every epoch with (1-based epoch index, metrics of the epoch)
 EpochCallback = Callable[[int, Dict[str, float]], None]
+
+#: npz keys of the serialized epoch state (see Trainer.capture_state)
+_CKPT_PARAMS = "flat_params"
+_CKPT_EPOCH = "epoch"
+_CKPT_RNG = "rng_state"
+_CKPT_OPT_PREFIX = "opt__"
+_CKPT_LAYER_RNG_PREFIX = "layer_rng__"
+_CKPT_HISTORY = {
+    "history_train_loss": "train_loss",
+    "history_train_accuracy": "train_accuracy",
+    "history_validation_accuracy": "validation_accuracy",
+}
 
 
 @dataclass
@@ -115,6 +129,8 @@ class Trainer:
         micro_batch: Optional[int] = None,
         runtime: str = "arena",
         on_epoch: Optional[EpochCallback] = None,
+        checkpoint=None,
+        checkpoint_every: Optional[int] = None,
     ) -> TrainingHistory:
         """Train for ``epochs`` passes over ``(x, y)``; returns the history.
 
@@ -138,6 +154,16 @@ class Trainer:
             Callback invoked after each epoch with ``(epoch, metrics)`` —
             the hook :class:`repro.experiments.session.Session` uses for
             training progress events.
+        checkpoint:
+            A checkpointer (anything exposing ``every``,
+            ``save(epoch, arrays)`` and ``load_latest(max_epoch)`` — see
+            :class:`repro.experiments.store.TrainingCheckpointer`).  Epoch
+            state — the flat parameter vector, optimizer slots and every
+            RNG state — is serialized at the cadence, and an interrupted
+            ``fit`` resumes from the latest valid checkpoint with final
+            weights byte-identical to an uninterrupted run.
+        checkpoint_every:
+            Overrides the checkpointer's cadence (epochs between saves).
         """
         if epochs <= 0:
             raise ConfigurationError(f"epochs must be positive, got {epochs}")
@@ -146,6 +172,30 @@ class Trainer:
             raise ConfigurationError(
                 f"runtime must be 'arena' or 'legacy', got {runtime!r}"
             )
+        if checkpoint_every is not None:
+            if checkpoint is None:
+                raise ConfigurationError(
+                    "checkpoint_every requires a checkpointer to write to; "
+                    "pass checkpoint= (see TrainingCheckpointer)"
+                )
+            validate_batch_size(checkpoint_every)
+        if checkpoint is not None:
+            if runtime != "arena":
+                raise ConfigurationError(
+                    "checkpointing serializes the flat parameter vector and "
+                    "requires the arena runtime"
+                )
+            if not self.optimizer.supports_flat_step():
+                raise ConfigurationError(
+                    f"{type(self.optimizer).__name__} does not implement the "
+                    f"flat update; its state cannot be checkpointed — train "
+                    f"with checkpoint=None"
+                )
+        checkpoint_cadence = (
+            checkpoint_every
+            if checkpoint_every is not None
+            else getattr(checkpoint, "every", 1)
+        )
         if micro_batch is not None:
             if runtime == "legacy":
                 raise ConfigurationError(
@@ -174,13 +224,16 @@ class Trainer:
         history = TrainingHistory()
         n_samples = x.shape[0]
         flat = self._ensure_engine() if runtime == "arena" else None
+        start_epoch = 0
+        if checkpoint is not None:
+            start_epoch = self._restore_checkpoint(checkpoint, epochs, flat, history)
         shard_pool = None
         try:
             if micro_batch is not None:
                 shard_pool = _MicroBatchPool(
                     self.model, flat, resolve_workers(workers), self._arena
                 )
-            for epoch in range(epochs):
+            for epoch in range(start_epoch, epochs):
                 order = np.arange(n_samples)
                 if shuffle:
                     self._rng.shuffle(order)
@@ -215,6 +268,13 @@ class Trainer:
                     if validation_data is not None:
                         metrics["validation_accuracy"] = history.validation_accuracy[-1]
                     on_epoch(epoch + 1, metrics)
+                if checkpoint is not None and (
+                    (epoch + 1) % checkpoint_cadence == 0 or epoch + 1 == epochs
+                ):
+                    checkpoint.save(epoch + 1, self.capture_state(epoch + 1, history))
+                # chaos seam: a scripted plan interrupts training here — after
+                # the epoch's checkpoint, exactly where a real crash would land
+                FaultInjector.consult("trainer.epoch")
                 if verbose:  # pragma: no cover - console output
                     message = (
                         f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
@@ -277,6 +337,82 @@ class Trainer:
         np.sum(grad_stack[: len(slices)], axis=0, out=flat.grads)
         self.optimizer.step_flat(flat)
         return batch_loss, correct
+
+    # ----------------------------------------------------------- checkpoints
+    def capture_state(self, epoch: int, history: TrainingHistory) -> Dict[str, np.ndarray]:
+        """Serialize the complete epoch state as named arrays.
+
+        Covers everything the next epoch depends on: the flat parameter
+        vector, the optimizer's flat slots (momentum/moments/step count),
+        the shuffle RNG, every layer's private RNG (Dropout draws a mask per
+        batch), and the history so far.  Restoring this state and continuing
+        performs the exact float64 operations of an uninterrupted run —
+        resumed weights are byte-identical.
+        """
+        flat = self._ensure_engine()
+        arrays: Dict[str, np.ndarray] = {
+            _CKPT_PARAMS: flat.params.copy(),
+            _CKPT_EPOCH: np.int64(epoch),
+            _CKPT_RNG: np.asarray(json.dumps(self._rng.bit_generator.state)),
+        }
+        for name, value in self.optimizer.state_flat().items():
+            arrays[f"{_CKPT_OPT_PREFIX}{name}"] = value
+        for index, layer in enumerate(self.model.layers):
+            rng = getattr(layer, "_rng", None)
+            if isinstance(rng, np.random.Generator):
+                arrays[f"{_CKPT_LAYER_RNG_PREFIX}{index}"] = np.asarray(
+                    json.dumps(rng.bit_generator.state)
+                )
+        for key, attr in _CKPT_HISTORY.items():
+            arrays[key] = np.asarray(getattr(history, attr), dtype=np.float64)
+        return arrays
+
+    def _restore_checkpoint(self, checkpoint, epochs, flat, history) -> int:
+        """Resume from the checkpointer's latest valid state; returns the epoch.
+
+        An unusable checkpoint (wrong parameter count — the architecture
+        changed under the digest, which content hashing makes impossible in
+        practice — or missing keys) is ignored and training starts fresh:
+        resume is an optimization, never a correctness risk.
+        """
+        loaded = checkpoint.load_latest(epochs)
+        if loaded is None:
+            return 0
+        epoch, arrays = loaded
+        # parse everything before mutating anything: a checkpoint this build
+        # cannot read is a miss, and a half-applied restore must never
+        # corrupt the fresh-start state it falls back to
+        try:
+            params = np.asarray(arrays[_CKPT_PARAMS], dtype=np.float64)
+            if int(params.size) != flat.size:
+                raise ValueError(
+                    f"checkpoint holds {int(params.size)} parameters, model "
+                    f"has {flat.size}"
+                )
+            opt_state = {
+                key[len(_CKPT_OPT_PREFIX):]: value
+                for key, value in arrays.items()
+                if key.startswith(_CKPT_OPT_PREFIX)
+            }
+            rng_state = json.loads(str(arrays[_CKPT_RNG]))
+            layer_rngs = {}
+            for index, layer in enumerate(self.model.layers):
+                key = f"{_CKPT_LAYER_RNG_PREFIX}{index}"
+                rng = getattr(layer, "_rng", None)
+                if key in arrays and isinstance(rng, np.random.Generator):
+                    layer_rngs[index] = json.loads(str(arrays[key]))
+        except (KeyError, ValueError, TypeError):
+            return 0
+        flat.params[:] = params
+        self.optimizer.load_state_flat(opt_state)
+        self._rng.bit_generator.state = rng_state
+        for index, state in layer_rngs.items():
+            self.model.layers[index]._rng.bit_generator.state = state
+        for key, attr in _CKPT_HISTORY.items():
+            values = arrays.get(key)
+            if values is not None:
+                getattr(history, attr).extend(float(v) for v in np.atleast_1d(values))
+        return int(epoch)
 
     # ------------------------------------------------------------- evaluate
     def evaluate(
