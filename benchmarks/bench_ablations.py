@@ -25,7 +25,7 @@ from repro.multipliers import (
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_lut_vs_exact_fastpath(benchmark, lenet_bundle):
+def test_ablation_lut_vs_exact_fastpath(benchmark, suite, lenet_bundle):
     """Cost of LUT-gather inference vs the exact-integer fast path."""
     import time
 
@@ -44,6 +44,9 @@ def test_ablation_lut_vs_exact_fastpath(benchmark, lenet_bundle):
 
     fast, lut = benchmark.pedantic(run, rounds=1, iterations=1)
     slowdown = lut / max(fast, 1e-9)
+    suite.record("lut_vs_exact.exact_fastpath_s", fast)
+    suite.record("lut_vs_exact.lut_gather_s", lut)
+    suite.record("lut_vs_exact.slowdown", slowdown, unit="ratio")
     save_payload(
         "ablation_lut_vs_exact",
         {"exact_fastpath_s": fast, "lut_gather_s": lut, "slowdown": slowdown},
@@ -53,7 +56,7 @@ def test_ablation_lut_vs_exact_fastpath(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_mae_vs_clean_accuracy(benchmark, lenet_bundle):
+def test_ablation_mae_vs_clean_accuracy(benchmark, suite, lenet_bundle):
     """Clean AxDNN accuracy as a function of multiplier MAE (the paper's premise)."""
     x, y = lenet_bundle["x"], lenet_bundle["y"]
 
@@ -70,7 +73,9 @@ def test_ablation_mae_vs_clean_accuracy(benchmark, lenet_bundle):
             )
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: suite.timed("mae_sweep_s", run), rounds=1, iterations=1
+    )
     save_payload("ablation_mae_vs_accuracy", {"rows": rows})
     print()
     for row in rows:
@@ -85,7 +90,7 @@ def test_ablation_mae_vs_clean_accuracy(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_convolution_only_vs_all_layers(benchmark, lenet_bundle):
+def test_ablation_convolution_only_vs_all_layers(benchmark, suite, lenet_bundle):
     """Approximating only convolutions (paper setup) vs every compute layer."""
     model = lenet_bundle["model"]
     calibration = lenet_bundle["calibration"]
@@ -99,7 +104,9 @@ def test_ablation_convolution_only_vs_all_layers(benchmark, lenet_bundle):
             all_layers.accuracy_percent(x, y),
         )
 
-    conv_only_acc, all_layers_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    conv_only_acc, all_layers_acc = benchmark.pedantic(
+        lambda: suite.timed("convolution_only_s", run), rounds=1, iterations=1
+    )
     save_payload(
         "ablation_convolution_only",
         {"convolution_only": conv_only_acc, "all_layers": all_layers_acc},
@@ -110,7 +117,7 @@ def test_ablation_convolution_only_vs_all_layers(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_energy_accuracy_tradeoff(benchmark, lenet_bundle):
+def test_ablation_energy_accuracy_tradeoff(benchmark, suite, lenet_bundle):
     """Energy saving vs clean accuracy for the LeNet-5 multiplier set."""
     counts = multiply_counts(build_lenet5())
     x, y = lenet_bundle["x"], lenet_bundle["y"]
@@ -130,7 +137,9 @@ def test_ablation_energy_accuracy_tradeoff(benchmark, lenet_bundle):
             )
         return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: suite.timed("energy_accuracy_s", run), rounds=1, iterations=1
+    )
     save_payload("ablation_energy_accuracy", {"rows": rows})
     print()
     for row in rows:

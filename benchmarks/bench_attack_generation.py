@@ -11,35 +11,30 @@ sweep now that PRs 1-2 made victim inference fast:
   gradient attack.  On a single-core host the sharded run shows parity (the
   speedup assertion activates on >= 4-core hosts, as in the PR 2 inference
   benchmarks).
-"""
 
-import time
+Every measurement is recorded into the ``attack_generation`` suite report
+for the regression gate.
+"""
 
 import numpy as np
 import pytest
 
 from repro.attacks import PAPER_EPSILONS, AttackEngine, get_attack
+from repro.benchmarking import best_of
 from repro.nn.runtime import available_workers
-
-
-def _best_of(fn, repeats=3):
-    fn()  # warm-up
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
 
 
 @pytest.mark.benchmark(group="attack-gen")
 @pytest.mark.parametrize("attack_key", ["FGM_linf", "BIM_linf", "PGD_linf", "RAU_linf"])
-def test_attack_sweep_amortized(benchmark, lenet_bundle, attack_key):
+def test_attack_sweep_amortized(benchmark, suite, lenet_bundle, attack_key):
     """One amortised sweep over the paper's ten budgets (the engine path)."""
     engine = AttackEngine(lenet_bundle["model"], workers=1)
     x, y = lenet_bundle["x"], lenet_bundle["y"]
     sweep = benchmark.pedantic(
-        lambda: engine.generate_sweep(get_attack(attack_key), x, y, PAPER_EPSILONS),
+        lambda: suite.timed(
+            f"sweep.{attack_key}_s",
+            lambda: engine.generate_sweep(get_attack(attack_key), x, y, PAPER_EPSILONS),
+        ),
         rounds=1,
         iterations=1,
     )
@@ -47,13 +42,13 @@ def test_attack_sweep_amortized(benchmark, lenet_bundle, attack_key):
 
 
 @pytest.mark.benchmark(group="attack-gen")
-def test_attack_sweep_amortization_vs_per_epsilon(benchmark, lenet_bundle):
+def test_attack_sweep_amortization_vs_per_epsilon(benchmark, suite, lenet_bundle):
     """Acceptance check: the FGM sweep beats the per-epsilon loop it replaced.
 
     FGM evaluates one input gradient per ``generate`` call; the amortised
     sweep evaluates it once for all ten budgets, so the ratio approaches the
     budget count as the gradient dominates.  Measured inline so the ratio
-    lands in the benchmark JSON.
+    lands in the suite report.
     """
     model, x, y = lenet_bundle["model"], lenet_bundle["x"], lenet_bundle["y"]
     engine = AttackEngine(model, workers=1)
@@ -65,8 +60,13 @@ def test_attack_sweep_amortization_vs_per_epsilon(benchmark, lenet_bundle):
     def amortized():
         return engine.generate_sweep(attack, x, y, PAPER_EPSILONS)
 
-    loop_s = _best_of(per_epsilon_loop)
-    sweep_s = _best_of(amortized)
+    loop_s = best_of(per_epsilon_loop)
+    sweep_s = best_of(amortized)
+    suite.record("amortization.per_epsilon_s", loop_s)
+    suite.record("amortization.sweep_s", sweep_s)
+    suite.record(
+        "amortization.speedup", loop_s / sweep_s, unit="ratio", higher_is_better=True
+    )
     benchmark.extra_info["per_epsilon_ms"] = loop_s * 1e3
     benchmark.extra_info["amortized_ms"] = sweep_s * 1e3
     benchmark.extra_info["speedup"] = loop_s / sweep_s
@@ -82,7 +82,7 @@ def test_attack_sweep_amortization_vs_per_epsilon(benchmark, lenet_bundle):
 
 
 @pytest.mark.benchmark(group="attack-gen")
-def test_attack_process_sharding(benchmark, lenet_bundle):
+def test_attack_process_sharding(benchmark, suite, lenet_bundle):
     """Serial vs process-sharded crafting of BIM (bit-identical by contract)."""
     model, x, y = lenet_bundle["model"], lenet_bundle["x"], lenet_bundle["y"]
     attack = get_attack("BIM_linf")
@@ -92,8 +92,17 @@ def test_attack_process_sharding(benchmark, lenet_bundle):
         model, workers="auto", backend="process", shard_size=16
     )
 
-    serial_s = _best_of(lambda: serial_engine.generate(attack, x, y, 0.2), repeats=2)
-    sharded_s = _best_of(lambda: sharded_engine.generate(attack, x, y, 0.2), repeats=2)
+    serial_s = best_of(lambda: serial_engine.generate(attack, x, y, 0.2), repeats=2)
+    sharded_s = best_of(lambda: sharded_engine.generate(attack, x, y, 0.2), repeats=2)
+    suite.record("process_sharding.serial_s", serial_s)
+    suite.record("process_sharding.sharded_s", sharded_s)
+    suite.record(
+        "process_sharding.speedup",
+        serial_s / sharded_s,
+        unit="ratio",
+        higher_is_better=True,
+        min_cores=4,
+    )
     benchmark.extra_info["cores"] = cores
     benchmark.extra_info["serial_ms"] = serial_s * 1e3
     benchmark.extra_info["sharded_ms"] = sharded_s * 1e3

@@ -15,6 +15,7 @@ from benchmarks.conftest import (
     N_MNIST_SAMPLES,
     EPSILONS,
     report_grid,
+    timed_panel,
 )
 from repro.experiments import AttackSpec, ExperimentSpec, SweepSpec, VictimSpec
 
@@ -37,46 +38,50 @@ def _panel(experiment_session, name, model, attack_key):
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_ffnn_pgd_linf(benchmark, experiment_session):
+def test_fig1_ffnn_pgd_linf(benchmark, suite, experiment_session):
     """Fig. 1 (top-left): FFNN, accurate vs L1G, linf PGD."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig1_ffnn_pgd_linf",
         lambda: _panel(experiment_session, "fig1_ffnn_pgd_linf", FFNN_MODEL, "PGD_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig1_ffnn_pgd_linf", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_ffnn_cr_l2(benchmark, experiment_session):
+def test_fig1_ffnn_cr_l2(benchmark, suite, experiment_session):
     """Fig. 1 (bottom-left): FFNN, accurate vs L1G, l2 contrast reduction."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig1_ffnn_cr_l2",
         lambda: _panel(experiment_session, "fig1_ffnn_cr_l2", FFNN_MODEL, "CR_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig1_ffnn_cr_l2", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_lenet_pgd_linf(benchmark, experiment_session):
+def test_fig1_lenet_pgd_linf(benchmark, suite, experiment_session):
     """Fig. 1 (top-right): LeNet-5, accurate vs L1G, linf PGD."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig1_lenet_pgd_linf",
         lambda: _panel(
             experiment_session, "fig1_lenet_pgd_linf", LENET_MODEL, "PGD_linf"
         ),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig1_lenet_pgd_linf", grid, benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig1")
-def test_fig1_lenet_cr_l2(benchmark, experiment_session):
+def test_fig1_lenet_cr_l2(benchmark, suite, experiment_session):
     """Fig. 1 (bottom-right): LeNet-5, accurate vs L1G, l2 contrast reduction."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig1_lenet_cr_l2",
         lambda: _panel(experiment_session, "fig1_lenet_cr_l2", LENET_MODEL, "CR_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig1_lenet_cr_l2", grid, benchmark.extra_info)

@@ -10,7 +10,7 @@ entirely from the artifact store.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import lenet_panel_spec, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid, timed_panel
 from repro.analysis import compare_with_paper_grid, lenet_paper_grid
 
 
@@ -26,12 +26,13 @@ def _attach_paper_comparison(grid, attack_key, extra_info):
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4a_bim_linf(benchmark, experiment_session):
+def test_fig4a_bim_linf(benchmark, suite, experiment_session):
     """Fig. 4a: linf BIM collapses every model beyond eps = 0.25."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig4a_bim_linf",
         lambda: _panel(experiment_session, "fig4a_bim_linf", "BIM_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig4a_bim_linf", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "BIM_linf", benchmark.extra_info)
@@ -39,12 +40,13 @@ def test_fig4a_bim_linf(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4b_bim_l2(benchmark, experiment_session):
+def test_fig4b_bim_l2(benchmark, suite, experiment_session):
     """Fig. 4b: l2 BIM is far milder than its linf counterpart."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig4b_bim_l2",
         lambda: _panel(experiment_session, "fig4b_bim_l2", "BIM_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig4b_bim_l2", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "BIM_l2", benchmark.extra_info)
@@ -52,24 +54,26 @@ def test_fig4b_bim_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4c_fgm_linf(benchmark, experiment_session):
+def test_fig4c_fgm_linf(benchmark, suite, experiment_session):
     """Fig. 4c: single-step linf FGM degrades accuracy more gradually than BIM."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig4c_fgm_linf",
         lambda: _panel(experiment_session, "fig4c_fgm_linf", "FGM_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig4c_fgm_linf", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "FGM_linf", benchmark.extra_info)
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4d_fgm_l2(benchmark, experiment_session):
+def test_fig4d_fgm_l2(benchmark, suite, experiment_session):
     """Fig. 4d: l2 FGM leaves accuracy almost untouched at small budgets."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig4d_fgm_l2",
         lambda: _panel(experiment_session, "fig4d_fgm_l2", "FGM_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig4d_fgm_l2", grid, benchmark.extra_info)
     _attach_paper_comparison(grid, "FGM_l2", benchmark.extra_info)

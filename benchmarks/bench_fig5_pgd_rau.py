@@ -7,7 +7,7 @@ declarative experiment spec served from the artifact store on re-runs.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import lenet_panel_spec, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid, timed_panel
 from repro.analysis import compare_with_paper_grid, lenet_paper_grid
 
 
@@ -17,12 +17,13 @@ def _panel(experiment_session, name, attack_key):
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5a_pgd_l2(benchmark, experiment_session):
+def test_fig5a_pgd_l2(benchmark, suite, experiment_session):
     """Fig. 5a: l2 PGD degrades accuracy slowly over the budget sweep."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig5a_pgd_l2",
         lambda: _panel(experiment_session, "fig5a_pgd_l2", "PGD_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig5a_pgd_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -31,12 +32,13 @@ def test_fig5a_pgd_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5b_pgd_linf(benchmark, experiment_session):
+def test_fig5b_pgd_linf(benchmark, suite, experiment_session):
     """Fig. 5b: linf PGD collapses every model beyond small budgets."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig5b_pgd_linf",
         lambda: _panel(experiment_session, "fig5b_pgd_linf", "PGD_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig5b_pgd_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -46,24 +48,26 @@ def test_fig5b_pgd_linf(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5c_rau_l2(benchmark, experiment_session):
+def test_fig5c_rau_l2(benchmark, suite, experiment_session):
     """Fig. 5c: l2 repeated uniform noise is essentially harmless."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig5c_rau_l2",
         lambda: _panel(experiment_session, "fig5c_rau_l2", "RAU_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig5c_rau_l2", grid, benchmark.extra_info)
     assert grid.accuracy_loss().max() <= 25.0
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5d_rau_linf(benchmark, experiment_session):
+def test_fig5d_rau_linf(benchmark, suite, experiment_session):
     """Fig. 5d: linf repeated uniform noise destroys accuracy at large budgets."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig5d_rau_linf",
         lambda: _panel(experiment_session, "fig5d_rau_linf", "RAU_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig5d_rau_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(

@@ -9,7 +9,7 @@ the artifact store on re-runs.
 
 import pytest
 
-from benchmarks.conftest import lenet_panel_spec, report_grid
+from benchmarks.conftest import lenet_panel_spec, report_grid, timed_panel
 from repro.analysis import (
     approximation_not_universally_defensive,
     compare_with_paper_grid,
@@ -23,12 +23,13 @@ def _panel(experiment_session, name, attack_key):
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6a_cr_l2(benchmark, experiment_session):
+def test_fig6a_cr_l2(benchmark, suite, experiment_session):
     """Fig. 6a: contrast reduction barely affects the accurate DNN but can hurt AxDNNs."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig6a_cr_l2",
         lambda: _panel(experiment_session, "fig6a_cr_l2", "CR_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig6a_cr_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -43,12 +44,13 @@ def test_fig6a_cr_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6b_rag_l2(benchmark, experiment_session):
+def test_fig6b_rag_l2(benchmark, suite, experiment_session):
     """Fig. 6b: repeated additive Gaussian noise is harmless at every budget."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig6b_rag_l2",
         lambda: _panel(experiment_session, "fig6b_rag_l2", "RAG_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig6b_rag_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(

@@ -9,7 +9,7 @@ experiment spec served from the artifact store on re-runs.
 
 import pytest
 
-from benchmarks.conftest import alexnet_panel_spec, report_grid
+from benchmarks.conftest import alexnet_panel_spec, report_grid, timed_panel
 from repro.analysis import alexnet_paper_grid, compare_with_paper_grid
 
 
@@ -19,12 +19,13 @@ def _panel(experiment_session, name, attack_key):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7a_cr_l2(benchmark, experiment_session):
+def test_fig7a_cr_l2(benchmark, suite, experiment_session):
     """Fig. 7a: contrast reduction on AlexNet: mild, slightly worse for AxDNNs."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig7a_cr_l2",
         lambda: _panel(experiment_session, "fig7a_cr_l2", "CR_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig7a_cr_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -33,12 +34,13 @@ def test_fig7a_cr_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7b_rag_l2(benchmark, experiment_session):
+def test_fig7b_rag_l2(benchmark, suite, experiment_session):
     """Fig. 7b: repeated additive Gaussian noise on AlexNet is mild."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig7b_rag_l2",
         lambda: _panel(experiment_session, "fig7b_rag_l2", "RAG_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig7b_rag_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -48,12 +50,13 @@ def test_fig7b_rag_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7c_rau_l2(benchmark, experiment_session):
+def test_fig7c_rau_l2(benchmark, suite, experiment_session):
     """Fig. 7c: l2 repeated uniform noise on AlexNet is mild."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig7c_rau_l2",
         lambda: _panel(experiment_session, "fig7c_rau_l2", "RAU_l2"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig7c_rau_l2", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(
@@ -62,12 +65,13 @@ def test_fig7c_rau_l2(benchmark, experiment_session):
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7d_rau_linf(benchmark, experiment_session):
+def test_fig7d_rau_linf(benchmark, suite, experiment_session):
     """Fig. 7d: linf repeated uniform noise collapses AlexNet at large budgets."""
-    grid = benchmark.pedantic(
+    grid = timed_panel(
+        benchmark,
+        suite,
+        "fig7d_rau_linf",
         lambda: _panel(experiment_session, "fig7d_rau_linf", "RAU_linf"),
-        rounds=1,
-        iterations=1,
     )
     report_grid("fig7d_rau_linf", grid, benchmark.extra_info)
     benchmark.extra_info["paper_comparison"] = compare_with_paper_grid(

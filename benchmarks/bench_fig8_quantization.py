@@ -15,6 +15,7 @@ from benchmarks.conftest import (
     LENET_MODEL,
     N_MNIST_SAMPLES,
     save_payload,
+    timed_panel,
 )
 from repro.attacks import available_attacks
 from repro.experiments import AttackSpec, ExperimentSpec, SweepSpec, VictimSpec
@@ -32,15 +33,24 @@ def _spec():
 
 
 @pytest.mark.benchmark(group="fig8")
-def test_fig8_quantized_vs_float(benchmark, experiment_session):
+def test_fig8_quantized_vs_float(benchmark, suite, experiment_session):
     """Run the full ten-attack quantization study of Fig. 8."""
-    result = benchmark.pedantic(
-        lambda: experiment_session.run(_spec()), rounds=1, iterations=1
+    result = timed_panel(
+        benchmark,
+        suite,
+        "fig8_quantization_study",
+        lambda: experiment_session.run(_spec()),
     )
     study = result.study
     payload = study.to_dict()
     payload["mean_quantization_gain"] = study.mean_quantization_gain()
     save_payload("fig8_quantization_study", payload)
+    suite.record(
+        "mean_quantization_gain",
+        study.mean_quantization_gain(),
+        unit="percent",
+        higher_is_better=True,
+    )
     print()
     for key, comparison in sorted(study.comparisons.items()):
         print(

@@ -24,7 +24,7 @@ from repro.robustness import multiplier_sweep
 
 
 @pytest.mark.benchmark(group="headline")
-def test_headline_claims(benchmark, lenet_bundle):
+def test_headline_claims(benchmark, suite, lenet_bundle):
     """Evaluate the headline claims on the measured LeNet-5 grids."""
 
     def run():
@@ -41,7 +41,9 @@ def test_headline_claims(benchmark, lenet_bundle):
             )
         return grids
 
-    grids = benchmark.pedantic(run, rounds=1, iterations=1)
+    grids = benchmark.pedantic(
+        lambda: suite.timed("headline_sweeps_s", run), rounds=1, iterations=1
+    )
 
     cr = grids["CR_l2"]
     losses = cr.accuracy_loss()
@@ -75,6 +77,10 @@ def test_headline_claims(benchmark, lenet_bundle):
         "trend_checks": summary,
     }
     save_payload("headline_claims", payload)
+    suite.record(
+        "cr_axdnn_max_loss", axdnn_max_loss, unit="percent", higher_is_better=True
+    )
+    suite.record("cr_accurate_max_loss", accurate_max_loss, unit="percent")
     print()
     print("headline claims (paper -> measured):")
     print(

@@ -9,62 +9,33 @@ the paper:
   against the seed training loop it replaced, on the LeNet-5 and
   AlexNet-mini shapes.  Weights are bit-identical by contract; only the
   clock moves.  Measured as paired per-round ratios with alternating order
-  so machine drift cancels.
+  so machine drift cancels (:func:`repro.benchmarking.paired_ratios`).
 * **serial vs sharded** — deterministic data-parallel gradients
   (``micro_batch=``) across worker threads.  On a single-core host the
   sharded run shows parity (the speedup assertion activates on >= 4-core
   hosts, as in the PR 2/3 benchmarks); weights are bit-identical for every
   worker count by construction.
 
-The measured numbers land in ``benchmarks/results/BENCH_training.json``.
+The measured numbers land in ``benchmarks/results/BENCH_training.json`` as
+a schema-versioned report, recorded through the lease-locked
+:func:`repro.benchmarking.record_report` path by the ``suite`` fixture —
+the old per-test read-modify-write of that file raced under concurrent
+shards and silently discarded corrupt history.
 """
-
-import time
 
 import numpy as np
 import pytest
 
+from repro.benchmarking import best_of
 from repro.datasets import load_synthetic_cifar10, load_synthetic_mnist
 from repro.models.architectures import build_alexnet, build_lenet5
 from repro.nn import Adam, Trainer
 from repro.nn.runtime import available_workers
 
-from benchmarks.conftest import save_payload
-
 #: benchmark shapes: small enough for CI, large enough to be BLAS-bound
 N_TRAIN_MNIST = 512
 N_TRAIN_CIFAR = 256
 BATCH_SIZE = 64
-
-
-def _paired_ratios(run_a, run_b, rounds):
-    """min/median of per-round a/b time ratios, alternating call order."""
-    run_a(), run_b()  # warm both (buffers, BLAS threads, page cache)
-    ratios = []
-    times_a, times_b = [], []
-    for round_index in range(rounds):
-        if round_index % 2 == 0:
-            first, second = run_a, run_b
-        else:
-            first, second = run_b, run_a
-        start = time.perf_counter()
-        first()
-        mid = time.perf_counter()
-        second()
-        end = time.perf_counter()
-        if first is run_a:
-            a, b = mid - start, end - mid
-        else:
-            b, a = mid - start, end - mid
-        times_a.append(a)
-        times_b.append(b)
-        ratios.append(a / b)
-    return {
-        "ratio_median": float(np.median(ratios)),
-        "ratio_min": float(np.min(ratios)),
-        "a_best_s": float(np.min(times_a)),
-        "b_best_s": float(np.min(times_b)),
-    }
 
 
 def _trainer_pair(build_model, images, labels):
@@ -80,7 +51,7 @@ def _trainer_pair(build_model, images, labels):
 
 
 @pytest.mark.benchmark(group="training")
-def test_training_arena_vs_legacy_lenet(benchmark):
+def test_training_arena_vs_legacy_lenet(benchmark, suite):
     """Acceptance check: the arena+fused path beats the seed loop on LeNet.
 
     The weights of both paths are bit-identical (asserted below and in
@@ -91,13 +62,18 @@ def test_training_arena_vs_legacy_lenet(benchmark):
     dataset = load_synthetic_mnist(n_train=N_TRAIN_MNIST, n_test=64, seed=0)
     images, labels = dataset.train.images, dataset.train.labels
     trainers, run = _trainer_pair(build_lenet5, images, labels)
-    stats = _paired_ratios(lambda: run("legacy"), lambda: run("arena"), rounds=10)
-    epochs_per_s = {
-        "legacy": 1.0 / stats["a_best_s"],
-        "arena": 1.0 / stats["b_best_s"],
-    }
+    stats = suite.paired(
+        "lenet_arena", lambda: run("legacy"), lambda: run("arena"), rounds=10
+    )
+    suite.record(
+        "lenet_arena.epochs_per_s",
+        1.0 / stats["b_best_s"],
+        unit="1/s",
+        higher_is_better=True,
+        n_train=N_TRAIN_MNIST,
+        batch_size=BATCH_SIZE,
+    )
     benchmark.extra_info.update(stats)
-    benchmark.extra_info["epochs_per_s"] = epochs_per_s
     # bit-identity of the two runtimes after identical epoch counts (checked
     # before the pedantic round gives the arena model an extra epoch)
     legacy_state = trainers["legacy"].model.state_dict()
@@ -106,20 +82,6 @@ def test_training_arena_vs_legacy_lenet(benchmark):
         np.array_equal(legacy_state[key], arena_state[key]) for key in legacy_state
     )
     benchmark.pedantic(lambda: run("arena"), rounds=1, iterations=1)
-    save_payload(
-        "BENCH_training",
-        _merge_results(
-            lenet={
-                "n_train": N_TRAIN_MNIST,
-                "batch_size": BATCH_SIZE,
-                "speedup_median": stats["ratio_median"],
-                "speedup_min": stats["ratio_min"],
-                "legacy_epoch_s": stats["a_best_s"],
-                "arena_epoch_s": stats["b_best_s"],
-                "epochs_per_s": epochs_per_s,
-            }
-        ),
-    )
     assert stats["ratio_median"] >= 1.05, (
         f"arena runtime only {stats['ratio_median']:.3f}x the legacy loop "
         f"on the LeNet shape (expected a clear speedup)"
@@ -127,13 +89,15 @@ def test_training_arena_vs_legacy_lenet(benchmark):
 
 
 @pytest.mark.benchmark(group="training")
-def test_training_arena_vs_legacy_alexnet(benchmark):
+def test_training_arena_vs_legacy_alexnet(benchmark, suite):
     """AlexNet-mini shape: recorded; dominated by col2im/BLAS so the margin
     is thinner than LeNet's — asserted only as 'not slower beyond noise'."""
     dataset = load_synthetic_cifar10(n_train=N_TRAIN_CIFAR, n_test=32, seed=0)
     images, labels = dataset.train.images, dataset.train.labels
     trainers, run = _trainer_pair(build_alexnet, images, labels)
-    stats = _paired_ratios(lambda: run("legacy"), lambda: run("arena"), rounds=6)
+    stats = suite.paired(
+        "alexnet_arena", lambda: run("legacy"), lambda: run("arena"), rounds=6
+    )
     benchmark.extra_info.update(stats)
     legacy_state = trainers["legacy"].model.state_dict()
     arena_state = trainers["arena"].model.state_dict()
@@ -141,30 +105,17 @@ def test_training_arena_vs_legacy_alexnet(benchmark):
         np.array_equal(legacy_state[key], arena_state[key]) for key in legacy_state
     )
     benchmark.pedantic(lambda: run("arena"), rounds=1, iterations=1)
-    save_payload(
-        "BENCH_training",
-        _merge_results(
-            alexnet={
-                "n_train": N_TRAIN_CIFAR,
-                "batch_size": BATCH_SIZE,
-                "speedup_median": stats["ratio_median"],
-                "speedup_min": stats["ratio_min"],
-                "legacy_epoch_s": stats["a_best_s"],
-                "arena_epoch_s": stats["b_best_s"],
-            }
-        ),
-    )
     assert stats["ratio_median"] >= 0.95
 
 
 @pytest.mark.benchmark(group="training")
-def test_training_serial_vs_sharded(benchmark):
+def test_training_serial_vs_sharded(benchmark, suite):
     """Deterministic data-parallel gradients: bit-identical, recorded timing.
 
     The canonical micro-batch partition never depends on the worker count,
     so serial and sharded runs train byte-identical weights; on this
-    container (1 core) the timing shows parity and the speedup assertion
-    activates on >= 4-core hosts.
+    container (1 core) the timing shows parity and the speedup assertion —
+    like the report's ``min_cores=4`` gate — activates on >= 4-core hosts.
     """
     dataset = load_synthetic_mnist(n_train=N_TRAIN_MNIST, n_test=64, seed=0)
     images, labels = dataset.train.images, dataset.train.labels
@@ -183,17 +134,17 @@ def test_training_serial_vs_sharded(benchmark):
         )
         return model.state_dict()
 
-    def timed(workers, repeats=3):
-        train(workers)
-        times = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            train(workers)
-            times.append(time.perf_counter() - start)
-        return min(times)
-
-    serial_s = timed(1)
-    sharded_s = timed("auto")
+    serial_s = best_of(lambda: train(1), repeats=3, warmup=1)
+    sharded_s = best_of(lambda: train("auto"), repeats=3, warmup=1)
+    suite.record("sharded.serial_epoch_s", serial_s, micro_batch=16)
+    suite.record("sharded.sharded_epoch_s", sharded_s, micro_batch=16)
+    suite.record(
+        "sharded.speedup",
+        serial_s / sharded_s,
+        unit="ratio",
+        higher_is_better=True,
+        min_cores=4,
+    )
     benchmark.extra_info["cores"] = cores
     benchmark.extra_info["serial_s"] = serial_s
     benchmark.extra_info["sharded_s"] = sharded_s
@@ -205,39 +156,8 @@ def test_training_serial_vs_sharded(benchmark):
         np.array_equal(serial_state[key], sharded_state[key])
         for key in serial_state
     )
-    save_payload(
-        "BENCH_training",
-        _merge_results(
-            sharded={
-                "cores": cores,
-                "micro_batch": 16,
-                "serial_epoch_s": serial_s,
-                "sharded_epoch_s": sharded_s,
-                "speedup": serial_s / sharded_s,
-            }
-        ),
-    )
     if cores >= 4:
         assert serial_s / sharded_s >= 1.3, (
             f"micro-batch sharding only {serial_s / sharded_s:.2f}x on "
             f"{cores} cores"
         )
-
-
-def _merge_results(**sections) -> dict:
-    """Merge new sections into the existing BENCH_training.json payload."""
-    import json
-    import os
-
-    from benchmarks.conftest import RESULTS_DIR
-
-    path = os.path.join(RESULTS_DIR, "BENCH_training.json")
-    payload = {}
-    if os.path.exists(path):
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
-            payload = {}
-    payload.update(sections)
-    return payload

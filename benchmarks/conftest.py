@@ -38,28 +38,47 @@ paper-vs-measured record in EXPERIMENTS.md can be regenerated.
 
 from __future__ import annotations
 
-import json
 import os
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 import pytest
 
 from repro.analysis import format_robustness_grid
 from repro.attacks import PAPER_EPSILONS
-from repro.experiments import ExperimentSpec, ModelSpec, Session, panel_spec
+from repro.benchmarking import Suite, record_report
+from repro.config import env_int, env_str
+from repro.experiments import (
+    ExperimentSpec,
+    ModelSpec,
+    Session,
+    atomic_write_json,
+    panel_spec,
+)
 from repro.robustness import RobustnessGrid, build_victims
 
-#: directory where benchmark result grids are dumped
-RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+#: directory where benchmark reports and result grids are recorded;
+#: ``python -m repro.benchmarking run --results-dir`` points it elsewhere
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS_DIR") or os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results"
+)
 
-N_MNIST_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "60"))
-N_CIFAR_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES_CIFAR", "32"))
-N_TRAIN = int(os.environ.get("REPRO_BENCH_TRAIN", "1500"))
-N_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "4"))
+N_MNIST_SAMPLES = env_int("REPRO_BENCH_SAMPLES", 60, minimum=1)
+N_CIFAR_SAMPLES = env_int("REPRO_BENCH_SAMPLES_CIFAR", 32, minimum=1)
+N_TRAIN = env_int("REPRO_BENCH_TRAIN", 1500, minimum=1)
+N_EPOCHS = env_int("REPRO_BENCH_EPOCHS", 4, minimum=1)
 
 #: worker threads used by every figure sweep (grids are invariant to this)
-BENCH_WORKERS = os.environ.get("REPRO_BENCH_WORKERS", "auto")
+BENCH_WORKERS = env_str("REPRO_BENCH_WORKERS", "auto")
+
+#: the scale knobs stamped into every report's environment fingerprint, so
+#: the compare engine can tell a knob change from a regression
+BENCH_KNOBS = {
+    "bench_samples": N_MNIST_SAMPLES,
+    "bench_samples_cifar": N_CIFAR_SAMPLES,
+    "bench_train": N_TRAIN,
+    "bench_epochs": N_EPOCHS,
+}
 
 #: the full epsilon sweep used by every figure of the paper
 EPSILONS: List[float] = list(PAPER_EPSILONS)
@@ -120,20 +139,47 @@ def experiment_session():
     return Session(workers=BENCH_WORKERS)
 
 
+@pytest.fixture(scope="module")
+def suite(request):
+    """One :class:`repro.benchmarking.Suite` per driver module.
+
+    The suite is named after the module (``bench_training`` -> ``training``)
+    and its collected metrics are recorded as ``BENCH_<suite>.json`` under
+    the results dir at module teardown — through the lease-locked, atomic
+    :func:`repro.benchmarking.record_report` path, so concurrent pytest
+    shards recording the same suite serialize instead of clobbering each
+    other.
+    """
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    name = module[len("bench_"):] if module.startswith("bench_") else module
+    bench_suite = Suite(name, env_extra=BENCH_KNOBS)
+    yield bench_suite
+    if bench_suite.results:
+        record_report(bench_suite.report(), RESULTS_DIR)
+
+
+def timed_panel(benchmark, suite: Suite, name: str, fn: Callable[[], object]):
+    """Run one figure panel through pytest-benchmark *and* the suite report.
+
+    Panels run once (``rounds=1``): the artifact store makes a second run a
+    cache hit, so best-of-N would time the cache, not the work.  The wall
+    clock lands in the report as ``<name>.panel_s``.
+    """
+    return benchmark.pedantic(
+        lambda: suite.timed(f"{name}.panel_s", fn), rounds=1, iterations=1
+    )
+
+
 def save_grid(name: str, grid: RobustnessGrid) -> None:
-    """Persist a measured grid (JSON) under benchmarks/results/."""
+    """Persist a measured grid (JSON) under the results dir, atomically."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w") as handle:
-        json.dump(grid.to_dict(), handle, indent=2)
+    atomic_write_json(os.path.join(RESULTS_DIR, f"{name}.json"), grid.to_dict())
 
 
 def save_payload(name: str, payload: dict) -> None:
-    """Persist an arbitrary JSON payload under benchmarks/results/."""
+    """Persist an arbitrary JSON payload under the results dir, atomically."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_json(os.path.join(RESULTS_DIR, f"{name}.json"), payload)
 
 
 def report_grid(name: str, grid: RobustnessGrid, extra_info: Dict) -> None:

@@ -1,0 +1,67 @@
+"""Continuous benchmark harness: results, suites, recording and the gate.
+
+The perf claims of PRs 1-6 (BLAS kernel speedups, sweep amortization,
+arena training) were measured by one-off scripts hand-recording JSON — a
+regression in any of them would have shipped silently.  This package turns
+those scripts into a continuous harness:
+
+* :class:`BenchmarkResult` / :class:`BenchmarkReport` — schema-versioned,
+  machine-readable results with commit, timestamp and an environment
+  fingerprint (core count included);
+* :class:`Suite` / :func:`paired_ratios` / :func:`best_of` — the shared
+  measurement protocols (paired alternating-order ratios, min-of-N);
+* :func:`compare` — the regression gate, with per-metric noise thresholds,
+  the ">= 4 cores" assertion convention and host-portability rules;
+* :func:`record_report` — atomic, lease-locked recording under
+  ``benchmarks/results/``;
+* ``python -m repro.benchmarking`` — the ``run`` / ``compare`` / ``record``
+  CLI that CI's ``bench-regression`` job drives.
+"""
+
+from repro.benchmarking.compare import (
+    COMPARE_MODES,
+    DEFAULT_THRESHOLD_PERCENT,
+    ComparisonReport,
+    MetricComparison,
+    comparable_envs,
+    compare,
+)
+from repro.benchmarking.recorder import (
+    REPORT_PREFIX,
+    load_report,
+    load_reports,
+    record_report,
+    report_path,
+)
+from repro.benchmarking.report import (
+    PORTABLE_UNITS,
+    REPORT_SCHEMA_VERSION,
+    BenchmarkReport,
+    BenchmarkResult,
+    current_commit,
+    env_fingerprint,
+)
+from repro.benchmarking.suite import Suite, best_of, paired_ratios
+
+__all__ = [
+    "BenchmarkResult",
+    "BenchmarkReport",
+    "REPORT_SCHEMA_VERSION",
+    "PORTABLE_UNITS",
+    "current_commit",
+    "env_fingerprint",
+    "Suite",
+    "best_of",
+    "paired_ratios",
+    "compare",
+    "comparable_envs",
+    "ComparisonReport",
+    "MetricComparison",
+    "COMPARE_MODES",
+    "DEFAULT_THRESHOLD_PERCENT",
+    "record_report",
+    "load_report",
+    "load_reports",
+    "report_path",
+    "REPORT_PREFIX",
+]

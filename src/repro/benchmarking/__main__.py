@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.benchmarking``."""
+
+import sys
+
+from repro.benchmarking.cli import main
+
+sys.exit(main())

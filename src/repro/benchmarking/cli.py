@@ -1,0 +1,260 @@
+"""``python -m repro.benchmarking`` — run, record and gate benchmarks.
+
+Subcommands::
+
+    run [SUITE ...]         run benchmark drivers (pytest) so they record
+                            fresh reports under --results-dir
+    compare BASE CAND       gate a candidate report (file or directory)
+                            against a recorded baseline; exit 1 on regression
+    record REPORT [...]     merge report files into --results-dir under the
+                            results-file lock (the "bless a new baseline" step)
+    list [DIR]              show the recorded reports and their metrics
+
+The CI regression gate is ``run`` into a scratch directory followed by
+``compare benchmarks/results <scratch>`` — see the ``bench-regression``
+job in ``.github/workflows/ci.yml`` and PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+from repro.benchmarking.compare import (
+    COMPARE_MODES,
+    DEFAULT_THRESHOLD_PERCENT,
+    ComparisonReport,
+    compare,
+)
+from repro.benchmarking.recorder import (
+    REPORT_PREFIX,
+    load_report,
+    load_reports,
+    record_report,
+)
+from repro.benchmarking.report import BenchmarkReport
+from repro.errors import ConfigurationError
+
+#: default location of benchmark drivers and recorded results
+DEFAULT_BENCHMARKS_DIR = "benchmarks"
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+def _parse_thresholds(pairs: Optional[List[str]]) -> Dict[str, float]:
+    thresholds: Dict[str, float] = {}
+    for pair in pairs or []:
+        pattern, separator, value = pair.partition("=")
+        if not separator or not pattern:
+            raise ConfigurationError(
+                f"--metric-threshold expects PATTERN=PERCENT, got {pair!r}"
+            )
+        try:
+            thresholds[pattern] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"--metric-threshold {pair!r}: {value!r} is not a number"
+            ) from None
+    return thresholds
+
+
+def _load_side(path: str) -> Dict[str, BenchmarkReport]:
+    """A report file or a results directory, as suite -> report."""
+    if os.path.isdir(path):
+        return load_reports(path)
+    report = load_report(path, on_error="raise")
+    if report is None:
+        raise ConfigurationError(f"no benchmark report at {path}")
+    return {report.suite: report}
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.suites:
+        files = []
+        for suite in args.suites:
+            path = os.path.join(args.benchmarks_dir, f"bench_{suite}.py")
+            if not os.path.exists(path):
+                print(f"error: no benchmark driver at {path}", file=sys.stderr)
+                return 2
+            files.append(path)
+    else:
+        files = sorted(glob.glob(os.path.join(args.benchmarks_dir, "bench_*.py")))
+        if not files:
+            print(
+                f"error: no bench_*.py drivers under {args.benchmarks_dir}",
+                file=sys.stderr,
+            )
+            return 2
+    command = [sys.executable, "-m", "pytest", "-q", *files]
+    if args.keyword:
+        command += ["-k", args.keyword]
+    command += args.pytest_args or []
+    env = dict(os.environ)
+    if args.results_dir:
+        env["REPRO_BENCH_RESULTS_DIR"] = args.results_dir
+    print(f"running: {' '.join(command)}")
+    return subprocess.run(command, env=env).returncode
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    thresholds = _parse_thresholds(args.metric_threshold)
+    baseline = _load_side(args.baseline)
+    candidate = _load_side(args.candidate)
+    if args.suite:
+        baseline = {s: r for s, r in baseline.items() if s in args.suite}
+        missing = set(args.suite) - set(baseline)
+        if missing:
+            print(
+                f"error: baseline has no suite(s) {sorted(missing)}", file=sys.stderr
+            )
+            return 2
+    if not baseline:
+        print(f"error: no baseline reports in {args.baseline}", file=sys.stderr)
+        return 2
+
+    outcomes: List[ComparisonReport] = []
+    failed = False
+    for suite, base_report in sorted(baseline.items()):
+        cand_report = candidate.get(suite)
+        if cand_report is None:
+            failed = True
+            print(f"suite {suite}: MISSING from the candidate run — FAIL")
+            continue
+        outcome = compare(
+            base_report,
+            cand_report,
+            threshold_percent=args.threshold,
+            thresholds=thresholds,
+            mode=args.mode,
+        )
+        outcomes.append(outcome)
+        failed = failed or not outcome.ok
+        if not args.json:
+            print(outcome.format())
+    if args.json:
+        print(json.dumps([outcome.to_dict() for outcome in outcomes], indent=2))
+    if failed:
+        print("benchmark regression gate: FAIL")
+        return 1
+    print("benchmark regression gate: OK")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    for source in args.reports:
+        report = load_report(source, on_error="raise")
+        if report is None:
+            print(f"error: no benchmark report at {source}", file=sys.stderr)
+            return 2
+        path = record_report(report, args.results_dir, merge=not args.replace)
+        print(f"recorded suite {report.suite} -> {path}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    reports = load_reports(args.results_dir)
+    if not reports:
+        print(f"no {REPORT_PREFIX}*.json reports under {args.results_dir}")
+        return 0
+    for suite, report in sorted(reports.items()):
+        env = report.env or {}
+        print(
+            f"{suite}: {len(report.results)} metric(s), commit "
+            f"{report.commit[:12]}, {env.get('cores', '?')} core(s)"
+        )
+        if args.verbose:
+            for result in report.results:
+                direction = "^" if result.higher_is_better else "v"
+                gate = f" (>= {result.min_cores} cores)" if result.min_cores else ""
+                print(
+                    f"    {result.name} = {result.value:.6g} {result.unit} "
+                    f"{direction}{gate}"
+                )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchmarking",
+        description="Continuous benchmark harness: run drivers, record "
+        "baselines, gate regressions.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run benchmark drivers via pytest")
+    run.add_argument("suites", nargs="*", help="suite names (e.g. training micro_ops)")
+    run.add_argument("--benchmarks-dir", default=DEFAULT_BENCHMARKS_DIR)
+    run.add_argument(
+        "--results-dir",
+        default=None,
+        help="override where drivers record reports (REPRO_BENCH_RESULTS_DIR)",
+    )
+    run.add_argument("-k", dest="keyword", default=None, help="pytest -k expression")
+    run.add_argument(
+        "--pytest-arg",
+        dest="pytest_args",
+        action="append",
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    run.set_defaults(handler=cmd_run)
+
+    cmp_parser = commands.add_parser(
+        "compare", help="gate a candidate run against a recorded baseline"
+    )
+    cmp_parser.add_argument("baseline", help="baseline report file or results dir")
+    cmp_parser.add_argument("candidate", help="candidate report file or results dir")
+    cmp_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD_PERCENT,
+        help=f"allowed movement per metric in percent "
+        f"(default {DEFAULT_THRESHOLD_PERCENT:.0f})",
+    )
+    cmp_parser.add_argument(
+        "--metric-threshold",
+        action="append",
+        metavar="PATTERN=PERCENT",
+        help="per-metric budget override, fnmatch pattern (repeatable)",
+    )
+    cmp_parser.add_argument("--mode", choices=COMPARE_MODES, default="auto")
+    cmp_parser.add_argument(
+        "--suite", action="append", help="only gate these suites (repeatable)"
+    )
+    cmp_parser.add_argument("--json", action="store_true", help="machine output")
+    cmp_parser.set_defaults(handler=cmd_compare)
+
+    record = commands.add_parser(
+        "record", help="merge report files into the recorded baselines"
+    )
+    record.add_argument("reports", nargs="+", help="report JSON files to record")
+    record.add_argument("--results-dir", default=DEFAULT_RESULTS_DIR)
+    record.add_argument(
+        "--replace",
+        action="store_true",
+        help="overwrite the recorded suite instead of merging by metric",
+    )
+    record.set_defaults(handler=cmd_record)
+
+    lister = commands.add_parser("list", help="show recorded reports")
+    lister.add_argument("results_dir", nargs="?", default=DEFAULT_RESULTS_DIR)
+    lister.add_argument("--verbose", "-v", action="store_true")
+    lister.set_defaults(handler=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

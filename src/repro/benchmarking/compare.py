@@ -1,0 +1,259 @@
+"""The regression gate: ``compare(baseline, candidate)``.
+
+Decides, metric by metric, whether a candidate run regressed against a
+recorded baseline.  Three conventions keep the gate honest on real
+hardware:
+
+* **Noise thresholds** — a metric only fails when it moved by more than
+  its threshold (default :data:`DEFAULT_THRESHOLD_PERCENT`; per-metric
+  overrides match by :mod:`fnmatch` pattern, so ``kernel.*`` can be given
+  a looser budget than ``training.*``).
+* **Core gating** — metrics recorded with ``min_cores=N`` (the repo's
+  "assert speedup only on >= 4 cores" convention) are reported but never
+  gate on hosts with fewer cores: a sharding speedup records parity on a
+  1-core container *by design*, not by regression.
+* **Environment portability** — wall-clock seconds measured on different
+  machines are not comparable.  In ``portable`` mode only dimensionless
+  metrics (ratios, percentages) gate; ``auto`` picks ``strict`` when the
+  two reports' fingerprints agree on core count and architecture, and
+  ``portable`` otherwise.
+
+A metric present in the baseline but missing from the candidate fails the
+gate (a silently-dropped benchmark is itself a regression); a metric new
+in the candidate is informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional
+
+from repro.benchmarking.report import BenchmarkReport, BenchmarkResult
+from repro.errors import ConfigurationError
+
+#: default allowed movement per metric before the gate fails, in percent
+DEFAULT_THRESHOLD_PERCENT = 15.0
+
+#: the modes :func:`compare` accepts
+COMPARE_MODES = ("auto", "strict", "portable")
+
+#: statuses that fail the gate
+_FAILING = frozenset({"regression", "missing-candidate"})
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: how much worse (or better) the candidate is.
+
+    ``worse_percent`` is oriented by the metric's direction — positive
+    always means *the candidate regressed*, whatever the unit's natural
+    direction.  ``status`` is one of ``ok`` / ``improved`` /
+    ``regression`` / ``skipped-cores`` / ``skipped-env`` /
+    ``missing-candidate`` / ``new``.
+    """
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    baseline: Optional[float]
+    candidate: Optional[float]
+    worse_percent: Optional[float]
+    threshold_percent: float
+    status: str
+    reason: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in _FAILING
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "worse_percent": self.worse_percent,
+            "threshold_percent": self.threshold_percent,
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """Every metric's verdict for one suite, plus the overall gate result."""
+
+    suite: str
+    mode: str
+    metrics: List[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [metric for metric in self.metrics if metric.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "mode": self.mode,
+            "ok": self.ok,
+            "metrics": [metric.to_dict() for metric in self.metrics],
+        }
+
+    def format(self) -> str:
+        """An aligned human-readable verdict table."""
+        lines = [f"suite {self.suite} (mode={self.mode}):"]
+        name_width = max([len(m.name) for m in self.metrics] + [6])
+        for metric in self.metrics:
+            baseline = "-" if metric.baseline is None else f"{metric.baseline:.6g}"
+            candidate = "-" if metric.candidate is None else f"{metric.candidate:.6g}"
+            moved = (
+                "      -"
+                if metric.worse_percent is None
+                else f"{metric.worse_percent:+7.1f}%"
+            )
+            marker = "FAIL" if metric.failed else "    "
+            lines.append(
+                f"  {marker} {metric.name:<{name_width}} "
+                f"{baseline:>12} -> {candidate:>12} {metric.unit:<6} "
+                f"worse {moved} (budget {metric.threshold_percent:.0f}%) "
+                f"[{metric.status}]"
+            )
+        verdict = "OK" if self.ok else f"{len(self.regressions)} REGRESSION(S)"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def _threshold_for(
+    name: str, default: float, overrides: Optional[Dict[str, float]]
+) -> float:
+    if overrides:
+        for pattern, value in overrides.items():
+            if fnmatchcase(name, pattern):
+                return float(value)
+    return default
+
+
+def _worse_percent(metric: BenchmarkResult, baseline: float, candidate: float) -> float:
+    """How much the candidate regressed, in percent (positive = worse)."""
+    if baseline == 0:
+        return 0.0 if candidate == baseline else float("inf")
+    if metric.higher_is_better:
+        return (baseline - candidate) / abs(baseline) * 100.0
+    return (candidate - baseline) / abs(baseline) * 100.0
+
+
+def comparable_envs(baseline: BenchmarkReport, candidate: BenchmarkReport) -> bool:
+    """Whether two reports' machines are close enough for wall-clock gating."""
+    base_env, cand_env = baseline.env or {}, candidate.env or {}
+    return (
+        base_env.get("cores") == cand_env.get("cores")
+        and base_env.get("machine") == cand_env.get("machine")
+    )
+
+
+def compare(
+    baseline: BenchmarkReport,
+    candidate: BenchmarkReport,
+    threshold_percent: float = DEFAULT_THRESHOLD_PERCENT,
+    thresholds: Optional[Dict[str, float]] = None,
+    mode: str = "auto",
+) -> ComparisonReport:
+    """Gate a candidate report against a recorded baseline.
+
+    ``thresholds`` maps :mod:`fnmatch` patterns to per-metric budgets in
+    percent (first match wins).  Returns a :class:`ComparisonReport` whose
+    ``ok`` is False when any gated metric moved past its budget or any
+    baseline metric disappeared.
+    """
+    if mode not in COMPARE_MODES:
+        raise ConfigurationError(f"mode must be one of {COMPARE_MODES}, got {mode!r}")
+    if baseline.suite != candidate.suite:
+        raise ConfigurationError(
+            f"comparing different suites: {baseline.suite!r} vs {candidate.suite!r}"
+        )
+    if threshold_percent < 0:
+        raise ConfigurationError(
+            f"threshold_percent must be >= 0, got {threshold_percent}"
+        )
+    if mode == "auto":
+        mode = "strict" if comparable_envs(baseline, candidate) else "portable"
+
+    cores = min(
+        int((baseline.env or {}).get("cores", 1) or 1),
+        int((candidate.env or {}).get("cores", 1) or 1),
+    )
+    comparisons: List[MetricComparison] = []
+    for base_metric in baseline.results:
+        threshold = _threshold_for(base_metric.name, threshold_percent, thresholds)
+        cand_metric = candidate.metric(base_metric.name)
+        if cand_metric is None:
+            comparisons.append(
+                MetricComparison(
+                    name=base_metric.name,
+                    unit=base_metric.unit,
+                    higher_is_better=base_metric.higher_is_better,
+                    baseline=base_metric.value,
+                    candidate=None,
+                    worse_percent=None,
+                    threshold_percent=threshold,
+                    status="missing-candidate",
+                    reason="metric recorded in the baseline but absent from the "
+                    "candidate run",
+                )
+            )
+            continue
+        worse = _worse_percent(base_metric, base_metric.value, cand_metric.value)
+        if base_metric.min_cores and cores < base_metric.min_cores:
+            status, reason = (
+                "skipped-cores",
+                f"needs >= {base_metric.min_cores} cores, measured on {cores}",
+            )
+        elif mode == "portable" and not base_metric.portable:
+            status, reason = (
+                "skipped-env",
+                f"unit {base_metric.unit!r} is host-bound and the environments "
+                "differ",
+            )
+        elif worse > threshold:
+            status, reason = "regression", ""
+        elif worse < -threshold:
+            status, reason = "improved", ""
+        else:
+            status, reason = "ok", ""
+        comparisons.append(
+            MetricComparison(
+                name=base_metric.name,
+                unit=base_metric.unit,
+                higher_is_better=base_metric.higher_is_better,
+                baseline=base_metric.value,
+                candidate=cand_metric.value,
+                worse_percent=worse,
+                threshold_percent=threshold,
+                status=status,
+                reason=reason,
+            )
+        )
+    for cand_metric in candidate.results:
+        if baseline.metric(cand_metric.name) is None:
+            comparisons.append(
+                MetricComparison(
+                    name=cand_metric.name,
+                    unit=cand_metric.unit,
+                    higher_is_better=cand_metric.higher_is_better,
+                    baseline=None,
+                    candidate=cand_metric.value,
+                    worse_percent=None,
+                    threshold_percent=_threshold_for(
+                        cand_metric.name, threshold_percent, thresholds
+                    ),
+                    status="new",
+                    reason="not yet in the recorded baseline",
+                )
+            )
+    return ComparisonReport(suite=baseline.suite, mode=mode, metrics=comparisons)

@@ -1,0 +1,139 @@
+"""Race-free recording of benchmark reports under ``benchmarks/results/``.
+
+Two failure modes corrupted recorded baselines before this module existed:
+
+* **Torn writes** — results were dumped with a plain ``open(path, "w")``,
+  so an interrupt mid-dump left invalid JSON as the baseline the next
+  regression check would read.  Every write here goes through the artifact
+  store's atomic temp-file + ``os.replace`` path (with its ``store.write``
+  fault seam and transient-IO retries).
+* **Merge races** — drivers that contribute *sections* to one suite file
+  did read-modify-write with no lock, so concurrent CI matrix entries
+  clobbered each other's sections, and a corrupt history file was
+  silently discarded.  :func:`record_report` wraps the read-merge-write in
+  a single-writer :class:`~repro.experiments.store.Lease` on a sidecar
+  lock file, and an unreadable history is *warned about* (then rebuilt)
+  instead of vanishing without a trace.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Dict, Optional
+
+from repro.benchmarking.report import BenchmarkReport
+from repro.errors import ConfigurationError
+from repro.experiments.store import Lease
+from repro.resilience import Deadline
+
+logger = logging.getLogger("repro.benchmarking")
+
+#: prefix of recorded suite report files (``BENCH_<suite>.json``)
+REPORT_PREFIX = "BENCH_"
+
+#: how long a writer may hold the results-file lock before it is presumed
+#: crashed and taken over (recording is a read-merge-write of one JSON file,
+#: so seconds suffice)
+LOCK_TTL_S = 30.0
+
+#: how long :func:`record_report` waits for a concurrent writer
+LOCK_WAIT_S = 60.0
+
+
+def report_path(results_dir: str, suite: str) -> str:
+    """Where one suite's report lives: ``<results_dir>/BENCH_<suite>.json``."""
+    if not suite or "/" in suite:
+        raise ConfigurationError(f"suite must be a simple name, got {suite!r}")
+    return os.path.join(results_dir, f"{REPORT_PREFIX}{suite}.json")
+
+
+def load_report(path: str, on_error: str = "raise") -> Optional[BenchmarkReport]:
+    """Load a recorded report; ``None`` when the file does not exist.
+
+    ``on_error="warn"`` turns unreadable or schema-incompatible files into
+    a logged warning plus ``None`` — used by the recorder so a corrupted
+    history is surfaced (and then rebuilt) rather than silently discarded
+    or allowed to crash the recording run.
+    """
+    if on_error not in ("raise", "warn"):
+        raise ConfigurationError(f"on_error must be 'raise' or 'warn', got {on_error!r}")
+    if not os.path.exists(path):
+        return None
+    try:
+        return BenchmarkReport.load(path)
+    except (OSError, ConfigurationError) as exc:
+        if on_error == "raise":
+            raise
+        logger.warning(
+            "recorded benchmark history %s is unreadable (%s); rebuilding it "
+            "from this run only",
+            path,
+            exc,
+        )
+        return None
+
+
+def load_reports(results_dir: str) -> Dict[str, BenchmarkReport]:
+    """Every ``BENCH_*.json`` report in a directory, keyed by suite name.
+
+    Non-report JSON files in the directory (measured figure grids, ad-hoc
+    payloads) are ignored by the filename convention; report files that
+    fail to parse are skipped with a warning.
+    """
+    reports: Dict[str, BenchmarkReport] = {}
+    if not os.path.isdir(results_dir):
+        return reports
+    for name in sorted(os.listdir(results_dir)):
+        if not (name.startswith(REPORT_PREFIX) and name.endswith(".json")):
+            continue
+        report = load_report(os.path.join(results_dir, name), on_error="warn")
+        if report is not None:
+            reports[report.suite] = report
+    return reports
+
+
+def record_report(
+    report: BenchmarkReport,
+    results_dir: str,
+    merge: bool = True,
+    lock_wait_s: float = LOCK_WAIT_S,
+) -> str:
+    """Record one suite's report under ``results_dir``; returns the path.
+
+    Holds a file lock (a store :class:`Lease` on ``<path>.lock``) around
+    the read-merge-write so concurrent writers — CI matrix entries
+    recording different sections of the same suite — serialize instead of
+    clobbering each other.  When the lock cannot be claimed within
+    ``lock_wait_s`` the write proceeds anyway with a warning: the atomic
+    write still cannot tear the file, the worst case is losing the race's
+    older sections, and a benchmark run must not hang forever on a stale
+    lock.
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    path = report_path(results_dir, report.suite)
+    lock = Lease(path + ".lock", ttl_s=LOCK_TTL_S)
+    deadline = Deadline(lock_wait_s)
+    acquired = lock.acquire()
+    while not acquired and not deadline.expired():
+        time.sleep(0.05)
+        acquired = lock.acquire()
+    if not acquired:
+        logger.warning(
+            "could not claim %s within %.0fs; recording without the lock",
+            lock.path,
+            lock_wait_s,
+        )
+    try:
+        existing = load_report(path, on_error="warn") if merge else None
+        if existing is not None:
+            existing.merge(report)
+            final = existing
+        else:
+            final = report
+        final.save(path)
+    finally:
+        if acquired:
+            lock.release()
+    return path

@@ -43,6 +43,8 @@ from repro.experiments.store import (
     StoreStats,
     TrainingCheckpointer,
     VerifyFinding,
+    atomic_write_bytes,
+    atomic_write_json,
     default_store_root,
 )
 from repro.experiments.session import (
@@ -72,6 +74,8 @@ __all__ = [
     "Lease",
     "TrainingCheckpointer",
     "VerifyFinding",
+    "atomic_write_bytes",
+    "atomic_write_json",
     "default_store_root",
     "STORE_ENV_VAR",
     "LEASE_TTL_ENV_VAR",

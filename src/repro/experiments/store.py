@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.config import env_float
 from repro.errors import ConfigurationError, LeaseHeldError
 from repro.resilience import FaultInjector, RetryPolicy, corrupt_file
 
@@ -68,6 +69,12 @@ LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL"
 
 #: default single-writer lease time-to-live
 DEFAULT_LEASE_TTL_S = 900.0
+
+#: tolerated wall-clock skew between lease writers (seconds) — expiry is a
+#: comparison of clocks stamped on different hosts (or on one host across a
+#: clock step), so a lease is only *taken over* once it is expired by more
+#: than this margin
+LEASE_SKEW_S = 5.0
 
 #: directory (under the root) holding quarantined artifacts
 QUARANTINE_DIR = ".quarantine"
@@ -85,15 +92,7 @@ def default_store_root() -> str:
 
 def default_lease_ttl_s() -> float:
     """The lease TTL: ``$REPRO_LEASE_TTL`` seconds or 900."""
-    override = os.environ.get(LEASE_TTL_ENV_VAR)
-    if not override:
-        return DEFAULT_LEASE_TTL_S
-    try:
-        ttl = float(override)
-    except ValueError:
-        raise ConfigurationError(
-            f"{LEASE_TTL_ENV_VAR} must be a number of seconds, got {override!r}"
-        ) from None
+    ttl = env_float(LEASE_TTL_ENV_VAR, DEFAULT_LEASE_TTL_S)
     if ttl <= 0:
         raise ConfigurationError(f"{LEASE_TTL_ENV_VAR} must be positive, got {ttl}")
     return ttl
@@ -165,6 +164,94 @@ def _sha256_file(path: str) -> str:
     return digest.hexdigest()
 
 
+def _atomic_write_with(path: str, writer, retry=None, on_retry=None) -> str:
+    """Write a file atomically (temp + ``os.replace``); returns the SHA-256.
+
+    ``writer(handle)`` receives the open binary temp file.  Consults the
+    ``store.write`` fault point before each attempt and retries transient
+    IO errors under ``retry`` (default :meth:`RetryPolicy.from_env`) — the
+    single write path shared by the artifact store, the benchmark-result
+    recorder and the benchmark drivers, so an interrupt mid-dump can never
+    leave a torn file behind at ``path``.
+    """
+    policy = retry if retry is not None else RetryPolicy.from_env()
+
+    def attempt() -> str:
+        FaultInjector.consult("store.write")
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                writer(handle)
+            payload_hash = _sha256_file(temp_path)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return payload_hash
+
+    return policy.run(
+        attempt, description=f"store write {path}", on_retry=on_retry
+    )
+
+
+def atomic_write_bytes(path: str, data: bytes, retry=None) -> str:
+    """Atomically replace ``path`` with ``data``; returns the payload SHA-256."""
+    return _atomic_write_with(path, lambda handle: handle.write(data), retry=retry)
+
+
+def atomic_write_json(path: str, payload, retry=None, indent: int = 2) -> str:
+    """Atomically replace ``path`` with ``payload`` as JSON; returns the SHA-256."""
+    body = json.dumps(payload, indent=indent, sort_keys=True).encode("utf-8")
+    return atomic_write_bytes(path, body, retry=retry)
+
+
+def _lease_skew_s(doc: dict) -> float:
+    """The expiry grace margin for one lease document.
+
+    A quarter of the holder's own TTL, capped at :data:`LEASE_SKEW_S` — so
+    production leases (minutes) absorb several seconds of cross-writer
+    clock skew while the short TTLs used in tests and CI takeover paths
+    stay promptly stealable.
+    """
+    ttl = doc.get("ttl_s")
+    if not isinstance(ttl, (int, float)) or ttl <= 0:
+        expires, acquired = doc.get("expires"), doc.get("acquired")
+        if isinstance(expires, (int, float)) and isinstance(acquired, (int, float)):
+            ttl = expires - acquired
+        else:
+            return LEASE_SKEW_S
+    return min(LEASE_SKEW_S, max(0.0, 0.25 * ttl))
+
+
+def _lease_expired(doc: Optional[dict], now: float) -> bool:
+    """Whether a lease document is safely past its expiry.
+
+    Expiry compares wall clocks stamped by *different* writers, so a raw
+    ``expires <= now`` check lets a backwards clock step (or modest
+    cross-host skew) make a live lease look dead and be stolen from a
+    healthy writer.  A lease is only considered expired once ``now`` is
+    past ``expires`` by more than the skew margin (:func:`_lease_skew_s`).
+    Malformed documents — no numeric expiry, or a *negative* remaining TTL
+    relative to their own ``acquired`` stamp (the writer's clock stepped
+    between the two reads, or the doc is corrupt) — are treated as
+    expired: their timing claims cannot be trusted.
+    """
+    if not doc:
+        return True
+    expires = doc.get("expires")
+    if not isinstance(expires, (int, float)):
+        return True
+    acquired = doc.get("acquired")
+    if isinstance(acquired, (int, float)) and expires < acquired:
+        return True  # negative TTL: the document's own clocks disagree
+    return now - expires > _lease_skew_s(doc)
+
+
 class Lease:
     """A single-writer claim on one artifact key, backed by a lease file.
 
@@ -197,6 +284,7 @@ class Lease:
             "pid": os.getpid(),
             "acquired": now,
             "expires": now + self.ttl_s,
+            "ttl_s": self.ttl_s,
         }
         return json.dumps(doc, indent=2, sort_keys=True).encode("utf-8")
 
@@ -212,19 +300,36 @@ class Lease:
         holder = self.holder()
         return bool(holder) and holder.get("token") == self._token
 
+    def remaining_s(self) -> float:
+        """Seconds until the current holder's expiry (never negative).
+
+        A backwards clock step can put ``expires`` in the apparent past (or
+        ``now`` past it) — callers budgeting refresh intervals must never
+        see a negative remaining TTL, so the value is clamped at zero.
+        """
+        holder = self.holder()
+        if not holder:
+            return 0.0
+        expires = holder.get("expires")
+        if not isinstance(expires, (int, float)):
+            return 0.0
+        return max(0.0, expires - time.time())
+
     # ------------------------------------------------------------------ API
     def acquire(self) -> bool:
         """Try to claim the lease (non-blocking); True on success.
 
-        A missing lease file is claimed atomically; an *expired* one is
-        taken over.  A live lease held by someone else returns False.
+        A missing lease file is claimed atomically; an *expired* one —
+        expired by more than :data:`LEASE_SKEW_S`, so a clock step or
+        cross-host skew cannot make a live lease look dead — is taken
+        over.  A live lease held by someone else returns False.
         """
         os.makedirs(os.path.dirname(self.path), exist_ok=True)
         try:
             descriptor = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             holder = self.holder()
-            if holder is not None and holder.get("expires", 0) > time.time():
+            if holder is not None and not _lease_expired(holder, time.time()):
                 return False
             # expired (or unreadable) lease: take over atomically and confirm
             # ownership on read-back — of two racing replacers exactly one
@@ -330,27 +435,8 @@ class ArtifactStore:
 
     def _atomic_write(self, path: str, writer) -> str:
         """Write atomically (with fault seam + retry); returns the payload hash."""
-
-        def attempt() -> str:
-            FaultInjector.consult("store.write")
-            directory = os.path.dirname(path)
-            os.makedirs(directory, exist_ok=True)
-            descriptor, temp_path = tempfile.mkstemp(
-                dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
-            )
-            try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    writer(handle)
-                payload_hash = _sha256_file(temp_path)
-                os.replace(temp_path, path)
-            except BaseException:
-                if os.path.exists(temp_path):
-                    os.unlink(temp_path)
-                raise
-            return payload_hash
-
-        return self.retry.run(
-            attempt, description=f"store write {path}", on_retry=self._count_retry
+        return _atomic_write_with(
+            path, writer, retry=self.retry, on_retry=self._count_retry
         )
 
     def _write_meta(
@@ -694,7 +780,7 @@ class ArtifactStore:
                     elif name.endswith(".lease.json"):
                         with open(path) as handle:
                             doc = json.load(handle)
-                        if doc.get("expires", 0) <= now:
+                        if _lease_expired(doc, now):
                             os.unlink(path)
                 except (OSError, ValueError):  # pragma: no cover - raced
                     continue

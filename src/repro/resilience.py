@@ -110,23 +110,12 @@ class RetryPolicy:
     @classmethod
     def from_env(cls, **overrides) -> "RetryPolicy":
         """A policy configured by ``REPRO_MAX_RETRIES``/``REPRO_RETRY_BACKOFF``."""
-        settings = {}
-        attempts = os.environ.get(MAX_RETRIES_ENV_VAR)
-        if attempts:
-            try:
-                settings["max_attempts"] = int(attempts)
-            except ValueError:
-                raise ConfigurationError(
-                    f"{MAX_RETRIES_ENV_VAR} must be an int, got {attempts!r}"
-                ) from None
-        backoff = os.environ.get(RETRY_BACKOFF_ENV_VAR)
-        if backoff:
-            try:
-                settings["backoff_s"] = float(backoff)
-            except ValueError:
-                raise ConfigurationError(
-                    f"{RETRY_BACKOFF_ENV_VAR} must be a float, got {backoff!r}"
-                ) from None
+        from repro.config import env_float, env_int
+
+        settings = {
+            "max_attempts": env_int(MAX_RETRIES_ENV_VAR, cls.max_attempts),
+            "backoff_s": env_float(RETRY_BACKOFF_ENV_VAR, cls.backoff_s),
+        }
         settings.update(overrides)
         return cls(**settings)
 
