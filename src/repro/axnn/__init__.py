@@ -4,9 +4,12 @@ Converts trained float models into 8-bit quantized models whose every
 activation x weight product is evaluated through an approximate-multiplier
 look-up table.  The LUT matmul itself runs through a pluggable kernel engine
 (:mod:`repro.axnn.kernels`) with bit-identical gather / per-code BLAS /
-error-correction / sparse one-hot strategies, and batched prediction shards
-across worker threads via the parallel runtime (:mod:`repro.nn.runtime`,
-re-exported here).
+error-correction / sparse one-hot / native compiled strategies (the latter
+backed by :mod:`repro.axnn.native` — Numba or a tiny C extension, selected
+via ``REPRO_KERNEL_BACKEND``), and batched prediction shards across worker
+threads via the parallel runtime (:mod:`repro.nn.runtime`, re-exported
+here).  :class:`repro.axnn.panel.VictimPanel` evaluates many victims of one
+source model in a single fused pass, sharing im2col and quantization.
 """
 
 from repro.axnn.approx_ops import (
@@ -23,14 +26,24 @@ from repro.axnn.kernels import (
     ExactBLASKernel,
     GatherKernel,
     MatmulKernel,
+    NativeLUTKernel,
     PerCodeBLASKernel,
     SparseOneHotKernel,
+    clear_profile_cache,
     integer_low_rank_factors,
     make_kernel,
     multiplier_kernel_profile,
     select_strategy,
 )
 from repro.axnn.layers import AxConv2D, AxDense, AxLayer, PassthroughLayer
+from repro.axnn.native import (
+    BACKEND_ENV_VAR,
+    backend_name,
+    get_backend,
+    native_fingerprint,
+    reset_backend,
+)
+from repro.axnn.panel import VictimPanel
 from repro.nn.runtime import (
     available_workers,
     batch_slices,
@@ -52,10 +65,18 @@ __all__ = [
     "PerCodeBLASKernel",
     "ErrorCorrectionKernel",
     "SparseOneHotKernel",
+    "NativeLUTKernel",
+    "clear_profile_cache",
     "integer_low_rank_factors",
     "make_kernel",
     "multiplier_kernel_profile",
     "select_strategy",
+    "BACKEND_ENV_VAR",
+    "backend_name",
+    "get_backend",
+    "native_fingerprint",
+    "reset_backend",
+    "VictimPanel",
     "AxLayer",
     "AxConv2D",
     "AxDense",

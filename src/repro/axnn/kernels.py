@@ -51,10 +51,21 @@ float64 BLAS instead:
     A plain rounded float64 BLAS product; only valid for bit-exact
     multipliers (the quantized accurate DNN).
 
+``native``
+    The compiled hot loop from :mod:`repro.axnn.native` (Numba njit or the
+    ctypes C extension, selected by ``REPRO_KERNEL_BACKEND``): operands
+    packed to 8 bits, the LUT to 16 or 32, accumulation in int64 with
+    cache blocking over output columns, GIL released for the whole call.
+    Only constructible when a native backend resolved; ``auto`` prefers it
+    over ``sparse`` for full-rank LUTs and ignores it otherwise (the
+    low-rank BLAS decompositions already beat a scalar loop).
+
 All BLAS paths operate on integer-valued float64 operands whose partial sums
 are provably below 2**53, so the rounded accumulators are bit-identical to
 the gather reference; kernels verify that bound at construction time and
-fall back to an always-safe formulation when it cannot be guaranteed.
+fall back to an always-safe formulation when it cannot be guaranteed.  The
+sparse and native paths accumulate in integers, so they are exact by
+construction.
 """
 
 from __future__ import annotations
@@ -74,7 +85,14 @@ from repro.errors import ConfigurationError, ShapeError
 from repro.multipliers.base import Multiplier
 
 #: canonical kernel strategy names (plus the "auto" selector)
-KERNEL_STRATEGIES = ("gather", "percode", "errorcorrection", "sparse", "exact")
+KERNEL_STRATEGIES = (
+    "gather",
+    "percode",
+    "errorcorrection",
+    "sparse",
+    "exact",
+    "native",
+)
 
 #: accepted spellings for each canonical strategy name, keyed with every
 #: separator (space, dash, underscore) stripped
@@ -90,6 +108,8 @@ _STRATEGY_ALIASES: Dict[str, str] = {
     "onehot": "sparse",
     "sparseonehot": "sparse",
     "exact": "exact",
+    "native": "native",
+    "compiled": "native",
     "auto": "auto",
 }
 
@@ -251,8 +271,16 @@ def multiplier_kernel_profile(multiplier: Multiplier) -> MultiplierKernelProfile
 
 
 def clear_profile_cache() -> None:
-    """Drop all cached multiplier kernel profiles."""
+    """Drop cached multiplier profiles and the resolved native backend.
+
+    Resetting the native backend too means a test (or a long-lived service
+    reconfiguring itself) can flip ``REPRO_KERNEL_BACKEND`` and have both
+    the "auto" strategy choice and subsequent kernel builds re-resolve.
+    """
+    from repro.axnn import native as _native
+
     _PROFILE_CACHE.clear()
+    _native.reset_backend()
 
 
 def _factor_sum_bound(factors: Tuple[np.ndarray, np.ndarray], inner: int) -> float:
@@ -649,12 +677,99 @@ class SparseOneHotKernel(MatmulKernel):
         return result
 
 
+class NativeLUTKernel(MatmulKernel):
+    """Compiled LUT accumulation from :mod:`repro.axnn.native`.
+
+    Operands are packed once per layer at construction — activation codes
+    and weight magnitudes to uint8, signs to int8, and the LUT to int16
+    when every entry fits (int32 otherwise) — so the compiled loop touches
+    a half to a quarter of the memory the int64 formulations stream.  The
+    loop itself (see ``native/kernels.c``) is cache-blocked over output
+    columns and accumulates in int64, making the result exact by
+    construction; ctypes/Numba release the GIL for the whole call, so the
+    threaded batch-sharding runtime scales where the scipy.sparse path
+    serialised.
+
+    Construction fails with :class:`ConfigurationError` when no native
+    backend resolved (``REPRO_KERNEL_BACKEND=numpy``, or neither Numba nor
+    a C compiler is available) or when the multiplier does not fit the
+    packed layout; ``"auto"`` only selects this strategy when it is
+    constructible.
+    """
+
+    strategy = "native"
+
+    def __init__(self, multiplier, weight_sign, weight_magnitude) -> None:
+        super().__init__(multiplier, weight_sign, weight_magnitude)
+        from repro.axnn import native as _native
+
+        backend = _native.get_backend()
+        if backend is None:
+            raise ConfigurationError(
+                "the 'native' kernel requires a compiled backend; set "
+                f"{_native.BACKEND_ENV_VAR} and install Numba or a C compiler"
+            )
+        if multiplier.operand_max > 255:
+            raise ConfigurationError(
+                "the 'native' kernel packs operands to 8 bits; "
+                f"{multiplier.name!r} has operand_max={multiplier.operand_max}"
+            )
+        if weight_sign.size and int(np.abs(weight_sign).max()) > 1:
+            raise ConfigurationError(
+                "the 'native' kernel expects sign values in {-1, 0, 1}"
+            )
+        lut = multiplier.lut()
+        peak = int(np.abs(lut).max(initial=0))
+        if peak >= (1 << 31):
+            raise ConfigurationError(
+                "the 'native' kernel packs the LUT to at most 32 bits; "
+                f"{multiplier.name!r} has |entry| up to {peak}"
+            )
+        lut_dtype = np.int16 if peak < (1 << 15) else np.int32
+        self._backend = backend
+        self._lut_packed = np.ascontiguousarray(lut, dtype=lut_dtype)
+        self._sign8 = np.ascontiguousarray(weight_sign, dtype=np.int8)
+        self._mag8 = np.ascontiguousarray(weight_magnitude, dtype=np.uint8)
+        self.codes_total = multiplier.operand_max + 1
+
+    def describe(self) -> str:
+        bits = 8 * self._lut_packed.dtype.itemsize
+        return f"native[{self._backend.name}, int{bits} lut]"
+
+    def matmul(self, activation_codes: np.ndarray) -> np.ndarray:
+        codes = self._check_codes(activation_codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.codes_total):
+            raise ConfigurationError(
+                f"activation codes outside the {self.multiplier.bit_width}-bit "
+                "operand range"
+            )
+        out = np.zeros((codes.shape[0], self.outputs), dtype=np.int64)
+        if codes.shape[0] == 0 or self.inner == 0 or self.outputs == 0:
+            return out
+        codes_u8 = np.ascontiguousarray(codes, dtype=np.uint8)
+        self._backend.lut_matmul(codes_u8, self._sign8, self._mag8,
+                                 self._lut_packed, out)
+        return out
+
+
+def _native_strategy_available(multiplier: Multiplier) -> bool:
+    """Whether ``"auto"`` may route ``multiplier`` to the native kernel."""
+    from repro.axnn import native as _native
+
+    if _native.get_backend() is None:
+        return False
+    if multiplier.operand_max > 255:
+        return False
+    return int(np.abs(multiplier.lut()).max(initial=0)) < (1 << 31)
+
+
 _KERNEL_CLASSES = {
     "gather": GatherKernel,
     "percode": PerCodeBLASKernel,
     "errorcorrection": ErrorCorrectionKernel,
     "sparse": SparseOneHotKernel,
     "exact": ExactBLASKernel,
+    "native": NativeLUTKernel,
 }
 
 KernelSpec = Union[str, MatmulKernel]
@@ -668,8 +783,9 @@ def select_strategy(multiplier: Multiplier) -> str:
     table selects the error-correction kernel, a low-rank product LUT
     selects the fused per-code BLAS kernel, and unstructured full-rank
     tables (the compressor-tree circuit multipliers, Mitchell, noisy-LSB)
-    take the sparse one-hot kernel — a single int64 scipy.sparse product,
-    which replaces the fancy-indexed gather loop the legacy path used.
+    take the native compiled kernel when a backend resolved, else the
+    sparse one-hot kernel — a single int64 scipy.sparse product, which
+    replaces the fancy-indexed gather loop the legacy path used.
     ``gather`` remains available by explicit request (and as the fallback
     if scipy is ever absent).
     """
@@ -684,6 +800,8 @@ def select_strategy(multiplier: Multiplier) -> str:
         return "percode"
     if profile.error_active_codes.size <= _AUTO_ACTIVE_CODE_LIMIT:
         return "errorcorrection"
+    if _native_strategy_available(multiplier):
+        return "native"
     return "sparse" if _scipy_sparse is not None else "gather"
 
 

@@ -87,10 +87,20 @@ class AxDense(AxLayer):
             self.weight_sign, self.weight_magnitude
         )
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Activation codes for ``x`` — shareable across panel victims whose
+        layers use the same quantization scheme."""
         if x.ndim != 2:
             raise ShapeError(f"{self.name}: expected 2-D input, got {x.shape}")
-        codes = self.activation_scheme.quantize(x)
+        return self.activation_scheme.quantize(x)
+
+    def forward_from_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Evaluate the layer from precomputed activation codes.
+
+        ``forward`` is exactly ``forward_from_codes(quantize_input(x))``;
+        the split lets :class:`repro.axnn.panel.VictimPanel` quantize once
+        and feed every victim's LUT product from the shared codes.
+        """
         accumulator = self.kernel.matmul(codes)
         zero_point = self.activation_scheme.zero_point
         if zero_point:
@@ -101,6 +111,9 @@ class AxDense(AxLayer):
         if self.bias is not None:
             y = y + self.bias
         return y
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.forward_from_codes(self.quantize_input(x))
 
 
 class AxConv2D(AxLayer):
@@ -133,12 +146,36 @@ class AxConv2D(AxLayer):
             self.weight_sign, self.weight_magnitude
         )
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    @property
+    def geometry(self) -> tuple:
+        """Patch-extraction geometry; victims with equal geometry can share
+        one im2col per batch (the expensive data movement of this layer)."""
+        return (self.kernel_size, self.stride, self.pad_amount)
+
+    def extract_cols(self, x: np.ndarray) -> np.ndarray:
+        """The im2col patch matrix for ``x`` — a pure function of the input
+        and :attr:`geometry`, hence shareable across panel victims."""
         if x.ndim != 4:
             raise ShapeError(f"{self.name}: expected NHWC input, got {x.shape}")
-        cols = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.pad_amount)
-        batch, out_h, out_w, patch = cols.shape
-        codes = self.activation_scheme.quantize(cols.reshape(-1, patch))
+        return im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.pad_amount
+        )
+
+    def quantize_cols(self, cols: np.ndarray) -> np.ndarray:
+        """Activation codes of a patch matrix — shareable across victims
+        whose layers use the same quantization scheme."""
+        patch = cols.shape[-1]
+        return self.activation_scheme.quantize(cols.reshape(-1, patch))
+
+    def forward_from_codes(
+        self, codes: np.ndarray, batch: int, out_h: int, out_w: int
+    ) -> np.ndarray:
+        """Evaluate the layer from precomputed activation codes.
+
+        ``forward`` is exactly this applied to
+        ``quantize_cols(extract_cols(x))``; the decomposition is what the
+        fused multi-victim panel exploits.
+        """
         accumulator = self.kernel.matmul(codes)
         zero_point = self.activation_scheme.zero_point
         if zero_point:
@@ -150,3 +187,10 @@ class AxConv2D(AxLayer):
         if self.bias is not None:
             y = y + self.bias
         return y
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols = self.extract_cols(x)
+        batch, out_h, out_w, _ = cols.shape
+        return self.forward_from_codes(
+            self.quantize_cols(cols), batch, out_h, out_w
+        )

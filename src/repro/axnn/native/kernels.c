@@ -1,0 +1,102 @@
+/* Native hot loops of the approximate-DNN reproduction.
+ *
+ * Compiled on first use by repro.axnn.native.cext (cc -O3 -shared) and
+ * loaded through ctypes, which releases the GIL for the duration of every
+ * call.  Each function is the exact integer/float semantics of its NumPy
+ * reference — see the bit-identity notes on each kernel; the property tests
+ * in tests/test_native_kernels.py enforce them.
+ *
+ * Layout contract: every array argument is C-contiguous; the Python wrapper
+ * (cext.py) declares ndpointer argtypes with the C_CONTIGUOUS flag, so a
+ * strided array can never reach these loops.
+ */
+
+#include <stdint.h>
+
+/* Column-block width of the LUT matmul: the sign/magnitude blocks
+ * (K * NB bytes each) and the int64 accumulator row stay cache-resident
+ * while the code row streams once per output row. */
+#define LUT_MATMUL_NB 128
+
+/* result[m, n] = sum_k sign[k, n] * lut[codes[m, k] * lut_cols + mag[k, n]]
+ *
+ * All arithmetic is int64 accumulation of exact integer products, so the
+ * result is bit-identical to the gather reference regardless of summation
+ * order.  Operands are packed to 8 bits (codes/mag unsigned, sign in
+ * {-1, 0, 1}) and the LUT to 16 or 32 bits by the caller — the "int8/int16
+ * accumulation" tier: half to a quarter of the reference path's memory
+ * traffic, cache-blocked over output columns.
+ */
+#define DEFINE_LUT_MATMUL(SUFFIX, LUT_T)                                      \
+void repro_lut_matmul_##SUFFIX(                                               \
+    const uint8_t *codes, const int8_t *sign, const uint8_t *mag,             \
+    const LUT_T *lut, int64_t m_dim, int64_t k_dim, int64_t n_dim,            \
+    int64_t lut_cols, int64_t *out)                                           \
+{                                                                             \
+    for (int64_t n0 = 0; n0 < n_dim; n0 += LUT_MATMUL_NB) {                   \
+        int64_t nb = n_dim - n0;                                              \
+        if (nb > LUT_MATMUL_NB) nb = LUT_MATMUL_NB;                           \
+        for (int64_t m = 0; m < m_dim; m++) {                                 \
+            int64_t acc[LUT_MATMUL_NB];                                       \
+            for (int64_t j = 0; j < nb; j++) acc[j] = 0;                      \
+            const uint8_t *code_row = codes + m * k_dim;                      \
+            for (int64_t k = 0; k < k_dim; k++) {                             \
+                const LUT_T *lut_row = lut + (int64_t)code_row[k] * lut_cols; \
+                const int8_t *sign_row = sign + k * n_dim + n0;               \
+                const uint8_t *mag_row = mag + k * n_dim + n0;                \
+                for (int64_t j = 0; j < nb; j++)                              \
+                    acc[j] += (int64_t)sign_row[j]                            \
+                            * (int64_t)lut_row[mag_row[j]];                   \
+            }                                                                 \
+            int64_t *out_row = out + m * n_dim + n0;                          \
+            for (int64_t j = 0; j < nb; j++) out_row[j] = acc[j];             \
+        }                                                                     \
+    }                                                                         \
+}
+
+DEFINE_LUT_MATMUL(i16, int16_t)
+DEFINE_LUT_MATMUL(i32, int32_t)
+
+/* The col2im scatter-add: fold an im2col patch matrix
+ * cols (batch, out_h, out_w, kh*kw*channels) back into the zero-initialised
+ * padded image out (batch, padded_h, padded_w, channels).
+ *
+ * Formulated as a gather over output pixels (one write pass instead of the
+ * reference's kh*kw strided read-modify-write passes).  Bit-identity with
+ * the NumPy loop needs only the *per-element* addition order to match: the
+ * reference adds each element's contributions in ascending (i, j) kernel
+ * offset order, and the i / j loops below visit them in exactly that order.
+ */
+void repro_col2im_f64(
+    const double *cols, int64_t batch, int64_t out_h, int64_t out_w,
+    int64_t kh, int64_t kw, int64_t channels, int64_t stride,
+    int64_t padded_h, int64_t padded_w, double *out)
+{
+    const int64_t patch = kh * kw * channels;
+    for (int64_t b = 0; b < batch; b++) {
+        const double *cols_b = cols + b * out_h * out_w * patch;
+        double *out_b = out + b * padded_h * padded_w * channels;
+        for (int64_t hp = 0; hp < padded_h; hp++) {
+            for (int64_t i = 0; i < kh; i++) {
+                int64_t oh_num = hp - i;
+                if (oh_num < 0 || oh_num % stride) continue;
+                int64_t oh = oh_num / stride;
+                if (oh >= out_h) continue;
+                for (int64_t wp = 0; wp < padded_w; wp++) {
+                    double *out_row = out_b + (hp * padded_w + wp) * channels;
+                    for (int64_t j = 0; j < kw; j++) {
+                        int64_t ow_num = wp - j;
+                        if (ow_num < 0 || ow_num % stride) continue;
+                        int64_t ow = ow_num / stride;
+                        if (ow >= out_w) continue;
+                        const double *col_row = cols_b
+                            + (oh * out_w + ow) * patch
+                            + (i * kw + j) * channels;
+                        for (int64_t c = 0; c < channels; c++)
+                            out_row[c] += col_row[c];
+                    }
+                }
+            }
+        }
+    }
+}

@@ -70,10 +70,15 @@ def env_fingerprint(extra: Optional[dict] = None) -> dict:
 
     ``cores`` is the load-bearing field: the compare engine refuses to gate
     wall-clock metrics across differing core counts and applies the
-    ``min_cores`` convention with it.  ``extra`` merges in run-specific
-    knobs (e.g. the ``REPRO_BENCH_*`` scale settings).
+    ``min_cores`` convention with it.  The kernel-backend fields
+    (``kernel_backend`` / ``kernel_backend_env`` / ``numba``) record which
+    compiled tier produced the numbers, so baseline comparisons never
+    silently mix a Numba run against a pure-NumPy one.  ``extra`` merges in
+    run-specific knobs (e.g. the ``REPRO_BENCH_*`` scale settings).
     """
     import numpy as np
+
+    from repro.axnn.native import native_fingerprint
 
     fingerprint = {
         "python": platform.python_version(),
@@ -83,6 +88,7 @@ def env_fingerprint(extra: Optional[dict] = None) -> dict:
         "cores": os.cpu_count() or 1,
         "hostname": socket.gethostname(),
     }
+    fingerprint.update(native_fingerprint())
     if extra:
         fingerprint.update(extra)
     return fingerprint

@@ -721,7 +721,14 @@ class Session:
                 workers=workers,
                 use_cache=use_cache,
             )
-            self._emit("evaluate", "compute", attack_spec.attack)
+            self._emit(
+                "evaluate", "compute", f"{attack_spec.attack} x{len(victims)} victims"
+            )
+            # fused=None: panels of >= 2 lockstep-compatible victims (every
+            # figure's panel — one source model, many multipliers) evaluate
+            # in one fused pass per budget, sharing im2col/quantization
+            # across victims; the grid is bit-identical either way, so
+            # cached results stay valid.
             grids.append(
                 grid_from_suite(
                     suite,
@@ -729,6 +736,7 @@ class Session:
                     dataset_name=trained.dataset.name,
                     source_name=trained.model.name,
                     workers=workers,
+                    fused=None,
                 )
             )
         return ExperimentResult(

@@ -149,6 +149,14 @@ def col2im(
     ``out``, when given, must have the *padded* spatial shape
     ``(N, H + 2p, W + 2p, C)``; it is zeroed here before the scatter-add,
     and the returned array is the unpadded view into it.
+
+    When a compiled backend resolved (see :mod:`repro.axnn.native`) and both
+    arrays are C-contiguous float64 — which is what the training arena's
+    ``out=`` workspaces always hand in — the scatter-add runs as one native
+    pass over the padded image instead of ``kh * kw`` strided
+    read-modify-write sweeps.  The native formulation adds each output
+    element's contributions in the same ascending kernel-offset order as
+    the loop below, so the result is bit-identical.
     """
     batch, height, width, channels = input_shape
     out_h = conv_output_size(height, kernel_h, stride, padding)
@@ -162,12 +170,32 @@ def col2im(
     else:
         x_padded = _checked_out(out, padded_shape, cols.dtype)
         x_padded.fill(0.0)
-    for i in range(kernel_h):
-        for j in range(kernel_w):
-            offset = (i * kernel_w + j) * channels
-            x_padded[
-                :, i : i + out_h * stride : stride, j : j + out_w * stride : stride, :
-            ] += cols[..., offset : offset + channels]
+    backend = None
+    if (
+        cols.dtype == np.float64
+        and x_padded.dtype == np.float64
+        and cols.flags["C_CONTIGUOUS"]
+        and x_padded.flags["C_CONTIGUOUS"]
+    ):
+        # imported lazily: repro.axnn.native depends only on numpy and
+        # repro.errors, so this cannot cycle back into repro.nn
+        from repro.axnn.native import get_backend
+
+        backend = get_backend()
+    if backend is not None:
+        backend.col2im_add(
+            cols, x_padded, kernel_h, kernel_w, stride, out_h, out_w
+        )
+    else:
+        for i in range(kernel_h):
+            for j in range(kernel_w):
+                offset = (i * kernel_w + j) * channels
+                x_padded[
+                    :,
+                    i : i + out_h * stride : stride,
+                    j : j + out_w * stride : stride,
+                    :,
+                ] += cols[..., offset : offset + channels]
     if padding == 0:
         return x_padded
     return x_padded[:, padding:-padding, padding:-padding, :]

@@ -23,6 +23,7 @@ from repro.robustness.sweep import (
     RobustnessGrid,
     attack_panel,
     build_victims,
+    grid_from_suite,
     multiplier_sweep,
 )
 from repro.robustness.transferability import (
@@ -39,6 +40,7 @@ __all__ = [
     "accuracy_loss",
     "RobustnessGrid",
     "build_victims",
+    "grid_from_suite",
     "multiplier_sweep",
     "attack_panel",
     "TransferabilityCell",

@@ -126,6 +126,37 @@ class AdversarialSuite:
         return results
 
 
+    def evaluate_panel(
+        self, panel, workers: WorkerSpec = None
+    ) -> Dict[str, List[RobustnessResult]]:
+        """Percentage robustness of a fused victim panel for every budget.
+
+        ``panel`` is a :class:`repro.axnn.panel.VictimPanel` (or anything
+        whose ``predict_classes`` returns a dict of per-victim labels).
+        One fused pass per budget replaces one full pass per victim — the
+        shared im2col/quantization work of each batch is paid once for the
+        whole panel — and the per-victim results are bit-identical to
+        calling :meth:`evaluate` on each victim separately.
+        """
+        results: Dict[str, List[RobustnessResult]] = {}
+        for epsilon in self.epsilons:
+            adversarial = self.adversarial[epsilon]
+            predictions = call_with_workers(
+                panel.predict_classes, adversarial, workers=workers
+            )
+            for name, predicted in predictions.items():
+                results.setdefault(name, []).append(
+                    RobustnessResult(
+                        victim=name,
+                        attack=self.attack_key,
+                        epsilon=epsilon,
+                        robustness_percent=accuracy_percent(predicted, self.labels),
+                        n_samples=int(self.labels.shape[0]),
+                    )
+                )
+        return results
+
+
 def evaluate_robustness(
     source_model: Sequential,
     victim,

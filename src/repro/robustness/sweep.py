@@ -105,12 +105,38 @@ def build_victims(
     return victims
 
 
+def _panel_or_none(victims: Dict[str, "AxModel"], fused: Optional[bool]):
+    """Build a fused :class:`VictimPanel` when requested/possible.
+
+    ``fused=None`` (auto) fuses whenever there are at least two
+    lockstep-compatible AxModels — exactly the panels the figures build
+    from one source model.  ``fused=True`` requires compatibility (raising
+    otherwise); ``fused=False`` always evaluates per victim.
+    """
+    if fused is False or (fused is None and len(victims) < 2):
+        return None
+    from repro.axnn.panel import VictimPanel
+
+    models = list(victims.values())
+    eligible = all(isinstance(model, AxModel) for model in models) and (
+        VictimPanel.compatible(models)
+    )
+    if not eligible:
+        if fused:
+            raise ConfigurationError(
+                "fused=True requires lockstep-compatible AxModel victims"
+            )
+        return None
+    return VictimPanel(victims)
+
+
 def grid_from_suite(
     suite: AdversarialSuite,
     victims: Dict[str, "AxModel"],
     dataset_name: str = "dataset",
     source_name: str = "source",
     workers: WorkerSpec = "auto",
+    fused: Optional[bool] = None,
 ) -> RobustnessGrid:
     """Robustness grid of every victim on a pre-generated adversarial suite.
 
@@ -119,15 +145,28 @@ def grid_from_suite(
     see :mod:`repro.experiments`), so only victim inference is paid here.
     Victim evaluation shards prediction batches across worker *threads*; the
     grid is bit-identical for every worker count.
+
+    ``fused`` controls the multi-victim fusion (see :func:`_panel_or_none`):
+    by default panels of two or more compatible AxDNNs are evaluated in one
+    fused pass per budget, sharing each batch's im2col and quantization
+    across victims.  The fused grid is bit-identical to per-victim
+    evaluation — fusion only removes recomputation of identical values.
     """
     if not victims:
         raise ConfigurationError("at least one victim AxDNN is required")
     victim_labels = list(victims)
     values = np.zeros((len(suite.epsilons), len(victim_labels)), dtype=np.float64)
-    for column, label in enumerate(victim_labels):
-        results = suite.evaluate(victims[label], label, workers=workers)
-        for row, result in enumerate(results):
-            values[row, column] = result.robustness_percent
+    panel = _panel_or_none(victims, fused)
+    if panel is not None:
+        panel_results = suite.evaluate_panel(panel, workers=workers)
+        for column, label in enumerate(victim_labels):
+            for row, result in enumerate(panel_results[label]):
+                values[row, column] = result.robustness_percent
+    else:
+        for column, label in enumerate(victim_labels):
+            results = suite.evaluate(victims[label], label, workers=workers)
+            for row, result in enumerate(results):
+                values[row, column] = result.robustness_percent
     return RobustnessGrid(
         attack_key=suite.attack_key,
         dataset_name=dataset_name,
@@ -151,6 +190,7 @@ def multiplier_sweep(
     dataset_name: str = "dataset",
     workers: WorkerSpec = "auto",
     seed: int = None,
+    fused: Optional[bool] = None,
 ) -> RobustnessGrid:
     """Robustness grid of every victim under one attack over a budget sweep.
 
@@ -174,6 +214,7 @@ def multiplier_sweep(
         dataset_name=dataset_name,
         source_name=source_model.name,
         workers=workers,
+        fused=fused,
     )
 
 

@@ -275,10 +275,24 @@ class TestStrategySelection:
         assert isinstance(kernel, PerCodeBLASKernel)
         assert "low-rank" in kernel.describe()
 
-    def test_unstructured_lut_selects_sparse(self):
+    def test_unstructured_lut_selects_native_or_sparse(self):
         # compressor-tree circuits and the noisy-LSB family are full rank:
-        # no factorisation exists, so the sparse one-hot kernel takes over
-        # from the legacy gather loop
+        # no factorisation exists, so a non-gather full-rank strategy takes
+        # over — the native compiled kernel when a backend resolved, the
+        # sparse one-hot kernel otherwise
+        from repro.axnn.native import get_backend
+
+        expected = "native" if get_backend() is not None else "sparse"
+        assert select_strategy(get_multiplier("M6")) == expected
+        assert select_strategy(get_multiplier("mul8s_L1G")) == expected
+
+    def test_unstructured_lut_selects_sparse_without_native(self, monkeypatch):
+        # with the native tier disabled the pre-existing selection holds
+        import repro.axnn.kernels as kernels_module
+
+        monkeypatch.setattr(
+            kernels_module, "_native_strategy_available", lambda multiplier: False
+        )
         assert select_strategy(get_multiplier("M6")) == "sparse"
         assert select_strategy(get_multiplier("mul8s_L1G")) == "sparse"
 
@@ -366,7 +380,18 @@ class TestEngineKernelSelection:
             isinstance(layer.kernel, ExactBLASKernel)
             for layer in exact_model.compute_layers()
         )
-        sparse_model = build_axdnn(tiny_cnn, "M6", calibration_batch, kernel="auto")
+        from repro.axnn.kernels import NativeLUTKernel
+        from repro.axnn.native import get_backend
+
+        full_rank_class = (
+            NativeLUTKernel if get_backend() is not None else SparseOneHotKernel
+        )
+        auto_model = build_axdnn(tiny_cnn, "M6", calibration_batch, kernel="auto")
+        assert all(
+            isinstance(layer.kernel, full_rank_class)
+            for layer in auto_model.compute_layers()
+        )
+        sparse_model = build_axdnn(tiny_cnn, "M6", calibration_batch, kernel="sparse")
         assert all(
             isinstance(layer.kernel, SparseOneHotKernel)
             for layer in sparse_model.compute_layers()
