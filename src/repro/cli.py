@@ -22,6 +22,11 @@ Subcommands
     Audit the artifact store: re-hash every artifact against its recorded
     payload SHA-256, quarantine corrupted entries, sweep crashed writers'
     temp files and expired leases.
+``serve``
+    Run the robustness evaluation service: an HTTP server exposing
+    experiment submission (with request coalescing), SSE progress
+    streams, micro-batched single-sample queries, ``/healthz`` and
+    ``/metrics``.
 
 Examples::
 
@@ -65,11 +70,22 @@ def _progress_printer(event) -> None:
     print(f"[{event.stage}:{event.status}] {event.detail}")
 
 
+def _print_spec_error(exc) -> None:
+    """Print a structured spec-validation failure (field path + message)."""
+    where = exc.path or "<spec>"
+    print(f"invalid spec at {where}: {exc.reason}", file=sys.stderr)
+    print(json.dumps(exc.to_dict(), sort_keys=True), file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.analysis import format_robustness_grid, format_transfer_table
-    from repro.experiments import ExperimentSpec, Session
+    from repro.experiments import ExperimentSpec, Session, SpecValidationError
 
-    spec = ExperimentSpec.load(args.spec)
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except SpecValidationError as exc:
+        _print_spec_error(exc)
+        return 2
     session = Session(
         store=args.store,
         workers=args.workers,
@@ -278,6 +294,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.service import ServiceApp
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(levelname)s %(message)s"
+    )
+    app = ServiceApp(
+        store=args.store,
+        workers=args.job_workers,
+        queue_depth=args.queue_depth,
+        session_workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+        drain_timeout_s=args.drain_timeout,
+    )
+    app.run(host=args.host, port=args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -385,6 +422,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="report problems without quarantining or sweeping debris",
     )
     verify.set_defaults(func=_cmd_verify)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the robustness evaluation HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        help="experiment jobs run concurrently (the worker pool width)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="queued jobs beyond the pool before submissions get 429",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch size cap for /v1/query",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch hold time in milliseconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for accepted jobs on SIGTERM before giving up",
+    )
+    add_workers_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

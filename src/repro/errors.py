@@ -9,6 +9,33 @@ class ConfigurationError(ReproError):
     """Raised when a component is constructed with inconsistent parameters."""
 
 
+class SpecValidationError(ConfigurationError):
+    """A spec validation failure carrying a machine-readable field path.
+
+    ``path`` names the offending field in dotted/indexed form
+    (``"model.n_train"``, ``"attacks[1].attack"``; ``""`` for
+    document-level problems) and ``reason`` holds the bare message, so an
+    HTTP layer can return a structured 400 body and the CLI can point at
+    the exact field instead of echoing a whole document.
+    """
+
+    def __init__(self, reason: str, path: str = "") -> None:
+        self.reason = reason
+        self.path = path
+        super().__init__(f"{path}: {reason}" if path else reason)
+
+    def at(self, prefix: str) -> "SpecValidationError":
+        """The same failure re-anchored under ``prefix`` (for nested specs)."""
+        path = f"{prefix}.{self.path}" if self.path else prefix
+        if self.path.startswith("["):  # index path: "attacks" + "[1].attack"
+            path = f"{prefix}{self.path}"
+        return SpecValidationError(self.reason, path=path)
+
+    def to_dict(self) -> dict:
+        """The failure as a machine-readable JSON payload."""
+        return {"error": "invalid_spec", "path": self.path, "message": self.reason}
+
+
 class ShapeError(ReproError):
     """Raised when tensors with incompatible shapes are combined."""
 

@@ -20,6 +20,7 @@ content-addressed store (:mod:`repro.experiments.store`); the
 reuses every cached artifact (:mod:`repro.experiments.session`).
 """
 
+from repro.errors import SpecValidationError
 from repro.experiments.spec import (
     ARCHITECTURES,
     DATASETS,
@@ -68,6 +69,7 @@ __all__ = [
     "DATASETS",
     "EXPERIMENT_KINDS",
     "SPEC_SCHEMA_VERSION",
+    "SpecValidationError",
     "ArtifactStore",
     "ArtifactEntry",
     "StoreStats",

@@ -24,7 +24,9 @@ a second run is served entirely from the store.
 
 from __future__ import annotations
 
+import logging
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -77,6 +79,8 @@ ARCH_VICTIM_NAMES = {"ffnn": "AxFF", "lenet5": "AxL5", "alexnet": "AxAlx"}
 #: sentinel npz key carrying the trained model's test accuracy
 _ACCURACY_KEY = "_meta_test_accuracy"
 
+logger = logging.getLogger("repro.experiments.session")
+
 ProgressCallback = Callable[["ProgressEvent"], None]
 
 
@@ -90,11 +94,29 @@ class ProgressEvent:
     (served from the store), ``"compute"`` (paid for), ``"store"``
     (written back), ``"resume"`` (training restarted from a checkpoint)
     or ``"wait"`` (blocked on another writer's training lease).
+
+    ``seq`` is a per-session monotonic sequence number (1-based, gap-free
+    across all stages, assigned under a lock so concurrent runs on one
+    session never share a number) and ``timestamp`` the wall-clock emit
+    time — together they let a streaming consumer (the robustness service's
+    SSE feed) order, resume and age events without trusting arrival order.
     """
 
     stage: str
     status: str
     detail: str
+    seq: int = 0
+    timestamp: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The event as a JSON-friendly payload (for event streams)."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "detail": self.detail,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+        }
 
 
 @dataclass
@@ -301,11 +323,31 @@ class Session:
             )
         self.lease_timeout_s = float(lease_timeout_s)
         self.lease_poll_s = float(lease_poll_s)
+        self._progress_lock = threading.Lock()
+        self._progress_seq = 0
 
     # -------------------------------------------------------------- plumbing
     def _emit(self, stage: str, status: str, detail: str) -> None:
-        if self.progress is not None:
-            self.progress(ProgressEvent(stage=stage, status=status, detail=detail))
+        if self.progress is None:
+            return
+        with self._progress_lock:
+            self._progress_seq += 1
+            seq = self._progress_seq
+        event = ProgressEvent(
+            stage=stage, status=status, detail=detail, seq=seq, timestamp=time.time()
+        )
+        try:
+            self.progress(event)
+        except Exception:
+            # a broken subscriber must never kill the run it is watching —
+            # progress is observability, not control flow
+            logger.warning(
+                "progress callback raised on %s:%s (%s); event dropped",
+                stage,
+                status,
+                detail,
+                exc_info=True,
+            )
 
     def _forbid_compute(
         self,

@@ -34,10 +34,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SpecValidationError
 from repro.version import __version__
 
 #: version of the spec wire format; bump when the JSON layout changes
@@ -88,21 +89,42 @@ def content_hash(payload: Any, kind: str) -> str:
 
 def _require_positive_int(name: str, value: Any) -> None:
     if isinstance(value, bool) or not isinstance(value, int) or value < 1:
-        raise ConfigurationError(f"{name} must be a positive int, got {value!r}")
+        raise SpecValidationError(
+            f"{name} must be a positive int, got {value!r}", path=name
+        )
 
 
 def _require_int(name: str, value: Any) -> None:
     if isinstance(value, bool) or not isinstance(value, int):
-        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+        raise SpecValidationError(f"{name} must be an int, got {value!r}", path=name)
 
 
 def _reject_unknown_keys(cls, payload: Mapping[str, Any]) -> None:
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(payload) - known)
     if unknown:
-        raise ConfigurationError(
-            f"unknown {cls.__name__} field(s) {unknown}; known fields: {sorted(known)}"
+        raise SpecValidationError(
+            f"unknown {cls.__name__} field(s) {unknown}; known fields: {sorted(known)}",
+            path=unknown[0],
         )
+
+
+@contextmanager
+def _spec_scope(prefix: str):
+    """Re-anchor validation failures inside a nested spec under ``prefix``.
+
+    Any :class:`SpecValidationError` escaping the block gets ``prefix``
+    prepended to its field path; a plain :class:`ConfigurationError` is
+    upgraded to a :class:`SpecValidationError` anchored *at* ``prefix`` —
+    so every failure surfacing from :meth:`ExperimentSpec.from_dict` names
+    the exact offending field (``"model.n_train"``, ``"attacks[1].attack"``).
+    """
+    try:
+        yield
+    except SpecValidationError as exc:
+        raise exc.at(prefix) from None
+    except ConfigurationError as exc:
+        raise SpecValidationError(str(exc), path=prefix) from exc
 
 
 class _SpecNode:
@@ -139,14 +161,16 @@ class ModelSpec(_SpecNode):
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"unknown architecture {self.architecture!r}; "
-                f"known: {list(ARCHITECTURES)}"
+                f"known: {list(ARCHITECTURES)}",
+                path="architecture",
             )
         normalized = _DATASET_ALIASES.get(str(self.dataset).lower())
         if normalized is None:
-            raise ConfigurationError(
-                f"unknown dataset {self.dataset!r}; known: {list(DATASETS)}"
+            raise SpecValidationError(
+                f"unknown dataset {self.dataset!r}; known: {list(DATASETS)}",
+                path="dataset",
             )
         object.__setattr__(self, "dataset", normalized)
         _require_positive_int("n_train", self.n_train)
@@ -155,8 +179,9 @@ class ModelSpec(_SpecNode):
         _require_positive_int("batch_size", self.batch_size)
         _require_int("seed", self.seed)
         if not isinstance(self.learning_rate, (int, float)) or self.learning_rate <= 0:
-            raise ConfigurationError(
-                f"learning_rate must be positive, got {self.learning_rate!r}"
+            raise SpecValidationError(
+                f"learning_rate must be positive, got {self.learning_rate!r}",
+                path="learning_rate",
             )
         object.__setattr__(self, "learning_rate", float(self.learning_rate))
 
@@ -197,23 +222,29 @@ class VictimSpec(_SpecNode):
 
         multipliers = tuple(str(label) for label in self.multipliers)
         if not multipliers:
-            raise ConfigurationError("victims require at least one multiplier label")
-        for label in multipliers:
+            raise SpecValidationError(
+                "victims require at least one multiplier label", path="multipliers"
+            )
+        for index, label in enumerate(multipliers):
             try:
                 resolve_name(label)
             except UnknownComponentError as exc:
-                raise ConfigurationError(
-                    f"unknown multiplier label {label!r}: {exc}"
+                raise SpecValidationError(
+                    f"unknown multiplier label {label!r}: {exc}",
+                    path=f"multipliers[{index}]",
                 ) from exc
         object.__setattr__(self, "multipliers", multipliers)
         _require_positive_int("bits", self.bits)
         _require_positive_int("calibration_samples", self.calibration_samples)
         if not isinstance(self.convolution_only, bool):
-            raise ConfigurationError(
-                f"convolution_only must be a bool, got {self.convolution_only!r}"
+            raise SpecValidationError(
+                f"convolution_only must be a bool, got {self.convolution_only!r}",
+                path="convolution_only",
             )
         if not isinstance(self.kernel, str) or not self.kernel:
-            raise ConfigurationError(f"kernel must be a non-empty str, got {self.kernel!r}")
+            raise SpecValidationError(
+                f"kernel must be a non-empty str, got {self.kernel!r}", path="kernel"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -247,15 +278,17 @@ class AttackSpec(_SpecNode):
         from repro.attacks import available_attacks
 
         if self.attack not in available_attacks():
-            raise ConfigurationError(
-                f"unknown attack {self.attack!r}; known: {available_attacks()}"
+            raise SpecValidationError(
+                f"unknown attack {self.attack!r}; known: {available_attacks()}",
+                path="attack",
             )
         try:
             params = tuple(sorted((str(k), v) for k, v in dict(self.params).items()))
         except (TypeError, ValueError):
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"attack params must be a mapping or key/value pairs, got "
-                f"{self.params!r}"
+                f"{self.params!r}",
+                path="params",
             ) from None
         object.__setattr__(self, "params", params)
 
@@ -292,15 +325,22 @@ class SweepSpec(_SpecNode):
         try:
             epsilons = tuple(float(eps) for eps in self.epsilons)
         except (TypeError, ValueError):
-            raise ConfigurationError(
-                f"epsilons must be a sequence of numbers, got {self.epsilons!r}"
+            raise SpecValidationError(
+                f"epsilons must be a sequence of numbers, got {self.epsilons!r}",
+                path="epsilons",
             ) from None
         if not epsilons:
-            raise ConfigurationError("sweep requires at least one epsilon")
+            raise SpecValidationError(
+                "sweep requires at least one epsilon", path="epsilons"
+            )
         if any(eps < 0 for eps in epsilons):
-            raise ConfigurationError(f"epsilons must be >= 0, got {list(epsilons)}")
+            raise SpecValidationError(
+                f"epsilons must be >= 0, got {list(epsilons)}", path="epsilons"
+            )
         if len(set(epsilons)) != len(epsilons):
-            raise ConfigurationError(f"epsilons contain duplicates: {list(epsilons)}")
+            raise SpecValidationError(
+                f"epsilons contain duplicates: {list(epsilons)}", path="epsilons"
+            )
         object.__setattr__(self, "epsilons", epsilons)
         _require_positive_int("n_samples", self.n_samples)
 
@@ -349,50 +389,63 @@ class ExperimentSpec(_SpecNode):
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name.strip():
-            raise ConfigurationError("experiment name must be a non-empty string")
+            raise SpecValidationError(
+                "experiment name must be a non-empty string", path="name"
+            )
         if self.kind not in EXPERIMENT_KINDS:
-            raise ConfigurationError(
-                f"unknown experiment kind {self.kind!r}; known: {list(EXPERIMENT_KINDS)}"
+            raise SpecValidationError(
+                f"unknown experiment kind {self.kind!r}; known: {list(EXPERIMENT_KINDS)}",
+                path="kind",
             )
         attacks = tuple(self.attacks)
         if not attacks:
-            raise ConfigurationError("experiment requires at least one attack")
+            raise SpecValidationError(
+                "experiment requires at least one attack", path="attacks"
+            )
         if not all(isinstance(attack, AttackSpec) for attack in attacks):
-            raise ConfigurationError("attacks must be AttackSpec instances")
+            raise SpecValidationError(
+                "attacks must be AttackSpec instances", path="attacks"
+            )
         object.__setattr__(self, "attacks", attacks)
         sources = tuple(self.transfer_sources)
         object.__setattr__(self, "transfer_sources", sources)
         _require_int("seed", self.seed)
         if self.kind == "transfer":
             if len(attacks) != 1:
-                raise ConfigurationError(
+                raise SpecValidationError(
                     "transfer experiments take exactly one attack, got "
-                    f"{len(attacks)}"
+                    f"{len(attacks)}",
+                    path="attacks",
                 )
             if len(self.sweep.epsilons) != 1:
-                raise ConfigurationError(
+                raise SpecValidationError(
                     "transfer experiments take exactly one epsilon, got "
-                    f"{list(self.sweep.epsilons)}"
+                    f"{list(self.sweep.epsilons)}",
+                    path="sweep.epsilons",
                 )
-            for source in sources:
+            for index, source in enumerate(sources):
                 if not isinstance(source, ModelSpec):
-                    raise ConfigurationError(
-                        "transfer_sources must be ModelSpec instances"
+                    raise SpecValidationError(
+                        "transfer_sources must be ModelSpec instances",
+                        path=f"transfer_sources[{index}]",
                     )
                 if source.dataset != self.model.dataset:
-                    raise ConfigurationError(
+                    raise SpecValidationError(
                         "every transfer source must share the primary model's "
-                        f"dataset ({self.model.dataset!r}), got {source.dataset!r}"
+                        f"dataset ({self.model.dataset!r}), got {source.dataset!r}",
+                        path=f"transfer_sources[{index}].dataset",
                     )
                 if source.n_test != self.model.n_test or source.seed != self.model.seed:
-                    raise ConfigurationError(
+                    raise SpecValidationError(
                         "transfer sources must share the primary model's "
                         "n_test and seed so every source crafts on the same "
-                        "test split"
+                        "test split",
+                        path=f"transfer_sources[{index}]",
                     )
         elif sources:
-            raise ConfigurationError(
-                "transfer_sources are only valid for kind='transfer'"
+            raise SpecValidationError(
+                "transfer_sources are only valid for kind='transfer'",
+                path="transfer_sources",
             )
 
     # ----------------------------------------------------------------- hash
@@ -437,19 +490,26 @@ class ExperimentSpec(_SpecNode):
             key: payload[key] for key in ("name", "kind", "seed") if key in payload
         }
         if "model" in payload:
-            kwargs["model"] = ModelSpec.from_dict(payload["model"])
+            with _spec_scope("model"):
+                kwargs["model"] = ModelSpec.from_dict(payload["model"])
         if "victims" in payload:
-            kwargs["victims"] = VictimSpec.from_dict(payload["victims"])
+            with _spec_scope("victims"):
+                kwargs["victims"] = VictimSpec.from_dict(payload["victims"])
         if "attacks" in payload:
-            kwargs["attacks"] = tuple(
-                AttackSpec.from_dict(attack) for attack in payload["attacks"]
-            )
+            attacks = []
+            for index, attack in enumerate(payload["attacks"]):
+                with _spec_scope(f"attacks[{index}]"):
+                    attacks.append(AttackSpec.from_dict(attack))
+            kwargs["attacks"] = tuple(attacks)
         if "sweep" in payload:
-            kwargs["sweep"] = SweepSpec.from_dict(payload["sweep"])
+            with _spec_scope("sweep"):
+                kwargs["sweep"] = SweepSpec.from_dict(payload["sweep"])
         if "transfer_sources" in payload:
-            kwargs["transfer_sources"] = tuple(
-                ModelSpec.from_dict(source) for source in payload["transfer_sources"]
-            )
+            transfer_sources = []
+            for index, source in enumerate(payload["transfer_sources"]):
+                with _spec_scope(f"transfer_sources[{index}]"):
+                    transfer_sources.append(ModelSpec.from_dict(source))
+            kwargs["transfer_sources"] = tuple(transfer_sources)
         return cls(**kwargs)
 
     def to_json(self, indent: int = 2) -> str:
@@ -466,19 +526,24 @@ class ExperimentSpec(_SpecNode):
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"spec document is not valid JSON: {exc}") from exc
+            raise SpecValidationError(
+                f"spec document is not valid JSON: {exc}"
+            ) from exc
         if not isinstance(payload, Mapping):
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"spec document must be a JSON object, got {type(payload).__name__}"
             )
         version = payload.get("spec_version")
         if version != SPEC_SCHEMA_VERSION:
-            raise ConfigurationError(
+            raise SpecValidationError(
                 f"unsupported spec_version {version!r}; this build reads version "
-                f"{SPEC_SCHEMA_VERSION}"
+                f"{SPEC_SCHEMA_VERSION}",
+                path="spec_version",
             )
         if "experiment" not in payload:
-            raise ConfigurationError("spec document is missing the 'experiment' object")
+            raise SpecValidationError(
+                "spec document is missing the 'experiment' object", path="experiment"
+            )
         return cls.from_dict(payload["experiment"])
 
     def save(self, path: str) -> None:

@@ -1,0 +1,46 @@
+"""Robustness evaluation as a service.
+
+An asyncio HTTP server (stdlib-only wire layer, no web framework) that
+fronts the experiment :class:`~repro.experiments.session.Session`:
+experiment submission with request coalescing by spec content hash,
+SSE progress streams, micro-batched single-sample robustness queries,
+explicit backpressure, deadline propagation and graceful drain.
+
+Start it with ``python -m repro.cli serve`` (or ``python -m
+repro.service``); drive it with any HTTP client.
+"""
+
+from repro.service.app import ServiceApp
+from repro.service.coalescer import Coalescer
+from repro.service.metrics import MetricsRegistry
+from repro.service.microbatch import (
+    MicroBatcher,
+    QueryEvaluator,
+    QueryItem,
+    QueryOverloadError,
+)
+from repro.service.protocol import HttpError, Request
+from repro.service.scheduler import (
+    DrainingError,
+    Job,
+    JobScheduler,
+    QueueFullError,
+    TERMINAL_STATES,
+)
+
+__all__ = [
+    "ServiceApp",
+    "Coalescer",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "QueryEvaluator",
+    "QueryItem",
+    "QueryOverloadError",
+    "HttpError",
+    "Request",
+    "DrainingError",
+    "Job",
+    "JobScheduler",
+    "QueueFullError",
+    "TERMINAL_STATES",
+]

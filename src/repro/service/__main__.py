@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — alias for ``python -m repro.cli serve``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

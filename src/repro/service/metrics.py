@@ -1,0 +1,198 @@
+"""Thread-safe service metrics with Prometheus-style text rendering.
+
+The service exposes everything an operator needs to reason about load and
+cache behaviour on ``GET /metrics``: monotonic counters (requests,
+coalesce hits, micro-batch flushes), gauges (queue depth — sampled at
+render time via callables, so the value is always current), and fixed-
+bucket latency histograms.  Rendering follows the Prometheus text
+exposition format (``# TYPE`` headers, ``_bucket{le=...}`` cumulative
+histogram rows) so the endpoint can be scraped as-is, but the module is
+stdlib-only and carries no client-library dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: default latency buckets (seconds) — spans sub-millisecond cache hits
+#: through multi-minute training jobs
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram buckets must be unique and ascending, got {buckets!r}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.n = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        self.counts[index] += 1
+        self.total += value
+        self.n += 1
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms behind one lock, rendered as text."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, _LabelKey], float] = {}
+        self._counter_names: List[str] = []
+        self._gauges: Dict[str, Union[float, Callable[[], float]]] = {}
+        self._gauge_names: List[str] = []
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+        self._histogram_names: List[str] = []
+
+    # ------------------------------------------------------------- counters
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Add ``amount`` to the counter ``name`` (created on first use)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            if name not in self._counter_names:
+                self._counter_names.append(name)
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def counter_value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get((name, _label_key(labels)), 0.0)
+
+    # --------------------------------------------------------------- gauges
+    def set_gauge(
+        self, name: str, value: Union[float, Callable[[], float]]
+    ) -> None:
+        """Set a gauge to a value, or register a callable sampled at render."""
+        with self._lock:
+            if name not in self._gauge_names:
+                self._gauge_names.append(name)
+            self._gauges[name] = value
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            value = self._gauges.get(name, 0.0)
+        return float(value() if callable(value) else value)
+
+    # ----------------------------------------------------------- histograms
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one observation into the histogram ``name``."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(buckets)
+                if name not in self._histogram_names:
+                    self._histogram_names.append(name)
+            histogram.observe(value)
+
+    # -------------------------------------------------------------- render
+    def render(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        with self._lock:
+            counters = dict(self._counters)
+            counter_names = list(self._counter_names)
+            gauges = dict(self._gauges)
+            gauge_names = list(self._gauge_names)
+            histograms = {
+                key: (hist.bounds, list(hist.counts), hist.total, hist.n)
+                for key, hist in self._histograms.items()
+            }
+            histogram_names = list(self._histogram_names)
+        lines: List[str] = []
+        prefix = f"{self.namespace}_" if self.namespace else ""
+        for name in counter_names:
+            full = f"{prefix}{name}"
+            lines.append(f"# TYPE {full} counter")
+            for (cname, key), value in sorted(counters.items()):
+                if cname == name:
+                    lines.append(f"{full}{_render_labels(key)} {_format_value(value)}")
+        for name in gauge_names:
+            full = f"{prefix}{name}"
+            value = gauges[name]
+            sampled = float(value() if callable(value) else value)
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_format_value(sampled)}")
+        for name in histogram_names:
+            full = f"{prefix}{name}"
+            lines.append(f"# TYPE {full} histogram")
+            for (hname, key), (bounds, counts, total, n) in sorted(histograms.items()):
+                if hname != name:
+                    continue
+                cumulative = 0
+                for bound, count in zip(
+                    list(bounds) + [math.inf], counts
+                ):
+                    cumulative += count
+                    label = _render_labels(key, (("le", _format_value(bound)),))
+                    lines.append(f"{full}_bucket{label} {cumulative}")
+                lines.append(f"{full}_sum{_render_labels(key)} {_format_value(total)}")
+                lines.append(f"{full}_count{_render_labels(key)} {n}")
+        return "\n".join(lines) + "\n"

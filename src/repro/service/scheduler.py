@@ -1,0 +1,346 @@
+"""Job scheduling for the robustness service: a bounded worker pool.
+
+``POST /v1/experiments`` lands here.  A :class:`Job` wraps one
+``Session.run`` of one :class:`~repro.experiments.spec.ExperimentSpec`;
+its id *is* the spec's content hash, so identical submissions share one
+job through the :class:`~repro.service.coalescer.Coalescer` — the first
+client pays, everyone watches the same event stream and reads the same
+result.
+
+Backpressure is explicit: at most ``workers`` jobs run concurrently and at
+most ``queue_depth`` more may wait.  A submission past that bound raises
+:class:`QueueFullError` carrying a ``retry_after_s`` estimate (queue
+length x a running average of job duration / pool width), which the HTTP
+layer turns into ``429`` + ``Retry-After`` — the client sheds load instead
+of the server dying under it.
+
+Deadlines propagate: a client budget becomes a
+:class:`~repro.resilience.Deadline` at submit time, and a job whose budget
+is already spent when a worker picks it up fails with
+``deadline_exceeded`` instead of wasting the pool on an answer nobody is
+waiting for.
+
+``drain()`` is the SIGTERM path: stop accepting, finish everything already
+accepted, return.  Jobs run through the content-addressed store, so even a
+hard kill after drain times out loses at most in-flight compute — never
+stored artifacts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.session import ExperimentResult, ProgressEvent, Session
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ArtifactStore
+from repro.nn.runtime import WorkerSpec
+from repro.resilience import Deadline
+from repro.service.coalescer import Coalescer
+from repro.service.metrics import MetricsRegistry
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+TERMINAL_STATES = (SUCCEEDED, FAILED)
+
+
+class QueueFullError(ReproError):
+    """The scheduler's queue is at depth; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DrainingError(ReproError):
+    """The scheduler is draining and accepts no new work."""
+
+
+class Job:
+    """One experiment run: state, result and an ordered event log.
+
+    Events — the ``Session``'s :class:`ProgressEvent`s plus the service's
+    own lifecycle markers (``job:queued``, ``job:running``, ...) — are
+    appended under a condition variable and indexed by a job-local ``seq``
+    (1-based, gap-free), so an SSE consumer can resume from any cursor
+    (``Last-Event-ID``) without missing or duplicating frames.
+    """
+
+    def __init__(self, spec: ExperimentSpec, deadline: Optional[Deadline] = None) -> None:
+        self.id = spec.content_hash()
+        self.spec = spec
+        self.deadline = deadline
+        self.state = QUEUED
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.result: Optional[ExperimentResult] = None
+        self.error: Optional[dict] = None
+        self.attached = 0  # coalesced submissions that joined this job
+        self._cond = threading.Condition()
+        self._events: List[dict] = []
+
+    # --------------------------------------------------------------- events
+    def _append_event(self, payload: dict) -> None:
+        with self._cond:
+            payload["seq"] = len(self._events) + 1
+            self._events.append(payload)
+            self._cond.notify_all()
+
+    def record_event(self, event: ProgressEvent) -> None:
+        """The ``Session`` progress callback: append one pipeline event."""
+        payload = event.to_dict()
+        payload["session_seq"] = payload.pop("seq")
+        self._append_event(payload)
+
+    def mark(self, state: str, detail: str = "") -> None:
+        """Move the job to ``state`` and log the transition as an event."""
+        with self._cond:
+            self.state = state
+            if state == RUNNING:
+                self.started = time.time()
+            elif state in TERMINAL_STATES:
+                self.finished = time.time()
+        self._append_event(
+            {
+                "stage": "job",
+                "status": state,
+                "detail": detail,
+                "timestamp": time.time(),
+            }
+        )
+
+    def events_since(self, cursor: int) -> List[dict]:
+        """Every event with ``seq > cursor`` (the SSE resume contract)."""
+        with self._cond:
+            return [event for event in self._events if event["seq"] > cursor]
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the job is terminal; True when it finished in time."""
+        deadline = Deadline(timeout_s)
+        with self._cond:
+            while not self.terminal:
+                remaining = deadline.remaining()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining if remaining is not None else 1.0)
+        return True
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self, include_result: bool = True) -> dict:
+        """The job as a JSON payload (the ``GET /v1/jobs/{id}`` body)."""
+        with self._cond:
+            payload = {
+                "job_id": self.id,
+                "name": self.spec.name,
+                "kind": self.spec.kind,
+                "state": self.state,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "attached": self.attached,
+                "n_events": len(self._events),
+                "error": self.error,
+            }
+            if self.started is not None and self.finished is not None:
+                payload["elapsed_s"] = self.finished - self.started
+            if self.result is not None:
+                payload["from_cache"] = self.result.from_cache
+                if include_result:
+                    payload["result"] = self.result.to_dict()
+        return payload
+
+
+class JobScheduler:
+    """A bounded thread pool running coalesced experiment jobs."""
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        workers: int = 2,
+        queue_depth: int = 16,
+        session_workers: WorkerSpec = None,
+        metrics: Optional[MetricsRegistry] = None,
+        min_retry_after_s: float = 1.0,
+    ) -> None:
+        from repro.errors import ConfigurationError
+
+        if not isinstance(workers, int) or workers < 1:
+            raise ConfigurationError(f"workers must be a positive int, got {workers!r}")
+        if not isinstance(queue_depth, int) or queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be a positive int, got {queue_depth!r}"
+            )
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.session_workers = session_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.min_retry_after_s = float(min_retry_after_s)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service-job"
+        )
+        self._coalescer: Coalescer[Job] = Coalescer(
+            retry_failed=lambda job: job.state == FAILED
+        )
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._running = 0
+        self._draining = False
+        self._avg_run_s = 0.0  # EMA of job wall clock, 0 until the first job
+        self.metrics.set_gauge("queue_depth", lambda: float(self.queued_count))
+        self.metrics.set_gauge("running_jobs", lambda: float(self.running_count))
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def queued_count(self) -> int:
+        with self._lock:
+            return self._queued
+
+    @property
+    def running_count(self) -> int:
+        with self._lock:
+            return self._running
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def retry_after_s(self) -> float:
+        """Estimated seconds until a queue slot frees (for ``Retry-After``)."""
+        with self._lock:
+            backlog = self._queued + self._running
+            avg = self._avg_run_s
+        if avg <= 0.0:
+            return self.min_retry_after_s
+        return max(self.min_retry_after_s, round(backlog * avg / self.workers, 1))
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self, spec: ExperimentSpec, deadline_s: Optional[float] = None
+    ) -> "tuple[Job, bool]":
+        """Queue one spec (or attach to its in-flight/finished twin).
+
+        Returns ``(job, coalesced)``.  Raises :class:`DrainingError` during
+        shutdown and :class:`QueueFullError` past the queue depth — only
+        *new* jobs consume queue slots; attaching to an existing job is
+        always admitted (it costs nothing but a watcher).
+        """
+        with self._lock:
+            if self._draining:
+                raise DrainingError("service is draining; not accepting new jobs")
+
+        deadline = Deadline(deadline_s) if deadline_s is not None else None
+        created: List[Job] = []
+
+        def factory() -> Job:
+            with self._lock:
+                if self._queued >= self.queue_depth:
+                    raise QueueFullError(
+                        f"job queue is full ({self._queued}/{self.queue_depth} queued)",
+                        retry_after_s=0.0,  # estimate attached by the caller
+                    )
+                self._queued += 1
+            job = Job(spec, deadline=deadline)
+            created.append(job)
+            return job
+
+        try:
+            job, coalesced = self._coalescer.attach(spec.content_hash(), factory)
+        except QueueFullError as exc:
+            self.metrics.inc("jobs_rejected_total")
+            raise QueueFullError(str(exc), retry_after_s=self.retry_after_s()) from None
+        if coalesced:
+            with job._cond:
+                job.attached += 1
+            self.metrics.inc("coalesce_hits_total")
+            return job, True
+        self.metrics.inc("jobs_submitted_total")
+        job.mark(QUEUED, f"spec {job.id[:12]}")
+        self._executor.submit(self._run, job)
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._coalescer.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return self._coalescer.entries()
+
+    # ------------------------------------------------------------------- run
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            self._queued -= 1
+            self._running += 1
+        start = time.perf_counter()
+        try:
+            if job.deadline is not None and job.deadline.expired():
+                job.error = {
+                    "error": "deadline_exceeded",
+                    "message": (
+                        f"job spent its {job.deadline.timeout_s:.1f}s budget "
+                        f"in the queue"
+                    ),
+                }
+                job.mark(FAILED, "deadline exceeded before start")
+                self.metrics.inc("jobs_completed_total", labels={"state": "expired"})
+                return
+            job.mark(RUNNING, f"spec {job.id[:12]}")
+            session = Session(
+                store=self.store,
+                workers=self.session_workers,
+                progress=job.record_event,
+            )
+            result = session.run(job.spec)
+            job.result = result
+            job.mark(
+                SUCCEEDED,
+                f"{'cache hit' if result.from_cache else 'computed'} "
+                f"in {result.elapsed_s:.2f}s",
+            )
+            self.metrics.inc("jobs_completed_total", labels={"state": SUCCEEDED})
+            self.metrics.observe("job_duration_seconds", result.elapsed_s)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.error = {"error": type(exc).__name__, "message": str(exc)}
+            job.mark(FAILED, f"{type(exc).__name__}: {exc}")
+            self.metrics.inc("jobs_completed_total", labels={"state": FAILED})
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._running -= 1
+                self._avg_run_s = (
+                    elapsed
+                    if self._avg_run_s == 0.0
+                    else 0.8 * self._avg_run_s + 0.2 * elapsed
+                )
+
+    # ----------------------------------------------------------------- drain
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop accepting work and wait for accepted jobs to finish.
+
+        Returns True when every job reached a terminal state within the
+        timeout.  Idempotent; safe to call from any thread.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = Deadline(timeout_s)
+        clean = True
+        for job in self.jobs():
+            remaining = deadline.remaining()
+            if remaining is not None and remaining <= 0:
+                clean = job.terminal and clean
+                continue
+            clean = job.wait(remaining) and clean
+        self._executor.shutdown(wait=clean)
+        return clean

@@ -180,6 +180,36 @@ class TestOtherKinds:
         assert second.table.to_dict() == first.table.to_dict()
 
 
+class TestConcurrentSessions:
+    def test_concurrent_identical_runs_train_once_bit_identical(
+        self, store, counters
+    ):
+        """Three threads race one spec through one store: the training lease
+        makes exactly one of them train; all get bit-identical results."""
+        import threading
+
+        spec = tiny_spec(name="concurrent")
+        results = [None] * 3
+        errors = []
+
+        def run(index):
+            try:
+                results[index] = Session(store=store).run(spec)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(index,)) for index in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors, f"concurrent runs failed: {errors!r}"
+        assert all(result is not None for result in results)
+        assert counters["train"] == 1, "the lease must admit exactly one trainer"
+        payloads = [result.to_dict() for result in results]
+        assert payloads[0] == payloads[1] == payloads[2]
+
+
 class TestRequireCached:
     def test_cold_store_raises(self, store):
         session = Session(store=store, require_cached=True)

@@ -260,3 +260,59 @@ class TestHelpers:
             sweep=SweepSpec(epsilons=(0.05,), n_samples=8),
         )
         assert spec.source_models() == (primary, extra)
+
+
+class TestStructuredValidationErrors:
+    """SpecValidationError carries a machine-readable field path."""
+
+    def _tiny_document(self):
+        return tiny_spec().to_dict()
+
+    def test_nested_model_field_path(self):
+        from repro.errors import SpecValidationError
+
+        document = self._tiny_document()
+        document["model"]["n_train"] = 0
+        with pytest.raises(SpecValidationError) as excinfo:
+            ExperimentSpec.from_dict(document)
+        assert excinfo.value.path == "model.n_train"
+        assert "n_train" in excinfo.value.reason
+        payload = excinfo.value.to_dict()
+        assert payload["error"] == "invalid_spec"
+        assert payload["path"] == "model.n_train"
+
+    def test_indexed_attack_path(self):
+        from repro.errors import SpecValidationError
+
+        document = self._tiny_document()
+        document["attacks"].append({"attack": "NOPE_linf"})
+        with pytest.raises(SpecValidationError) as excinfo:
+            ExperimentSpec.from_dict(document)
+        assert excinfo.value.path.startswith("attacks[1]")
+
+    def test_sweep_and_victims_paths(self):
+        from repro.errors import SpecValidationError
+
+        document = self._tiny_document()
+        document["sweep"]["epsilons"] = []
+        with pytest.raises(SpecValidationError) as excinfo:
+            ExperimentSpec.from_dict(document)
+        assert excinfo.value.path.startswith("sweep")
+
+        document = self._tiny_document()
+        document["victims"]["multipliers"] = ["M1", "NOT_A_MULT"]
+        with pytest.raises(SpecValidationError) as excinfo:
+            ExperimentSpec.from_dict(document)
+        assert excinfo.value.path.startswith("victims")
+
+    def test_top_level_json_error_path(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as excinfo:
+            ExperimentSpec.from_json("not json at all")
+        assert excinfo.value.path == ""
+
+    def test_validation_error_is_still_a_configuration_error(self):
+        from repro.errors import SpecValidationError
+
+        assert issubclass(SpecValidationError, ConfigurationError)
