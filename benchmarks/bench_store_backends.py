@@ -1,0 +1,173 @@
+"""Benchmarks of the pluggable artifact-store backend tier.
+
+Not a paper figure — these measure the remote-store mechanisms that sit
+under the Session pipeline:
+
+* **cold restore vs prefetch-warmed reads** against a latency-padded
+  simulated remote — the gap speculative prefetch exists to hide;
+* **degraded-mode overhead** — local cache hits and journaled writes
+  while the circuit breaker is open must stay within a small factor of
+  the plain local fast path (the ladder degrades *availability*, not
+  the hot path).
+
+Scale stays CI-sized: a dozen small array artifacts and a few
+milliseconds of simulated latency are enough to expose the mechanisms
+(restore round-trips, breaker checks, journal appends) without timing
+the network stack itself.  Results land in
+``benchmarks/results/BENCH_store_backends.json`` via the shared
+``suite`` fixture.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MissingArtifactError
+from repro.experiments import ArtifactStore
+from repro.experiments.backends import (
+    CircuitBreaker,
+    InMemoryBackend,
+    ResilientBackend,
+    SimulatedRemoteBackend,
+)
+from repro.resilience import RetryPolicy
+
+#: artifacts per measured batch — one figure stage's worth of suites
+N_ARTIFACTS = 12
+#: simulated one-way latency per remote op (small, but >> a local read)
+REMOTE_LATENCY_S = 0.002
+
+DIGESTS = [f"{index:064x}" for index in range(N_ARTIFACTS)]
+PAYLOAD = {"values": np.arange(512, dtype=np.float64)}
+
+_FAST_RETRY = RetryPolicy(max_attempts=1, backoff_s=0.0, sleep=lambda _s: None)
+_fresh = itertools.count()
+
+
+class _DownBackend(InMemoryBackend):
+    """A remote that is simply gone — every op fails fast."""
+
+    def get(self, key):
+        raise OSError("remote down")
+
+    def put_atomic(self, key, data, if_none_match=False):
+        raise OSError("remote down")
+
+    def head(self, key):
+        raise OSError("remote down")
+
+    def list_kind(self, kind):
+        raise OSError("remote down")
+
+    def delete(self, key):
+        raise OSError("remote down")
+
+
+def _seed_shared_remote(tmp_path):
+    """A populated in-memory remote: one producer wrote N suite artifacts."""
+    shared = InMemoryBackend()
+    producer = ArtifactStore(str(tmp_path / "producer"), backend=shared)
+    for digest in DIGESTS:
+        producer.put_arrays("suite", digest, PAYLOAD)
+    return shared
+
+
+def _read_all(store):
+    for digest in DIGESTS:
+        assert store.get_arrays("suite", digest) is not None
+
+
+def _degraded_store(tmp_path, name):
+    """A store over an existing local root whose remote is down and breaker open."""
+    backend = ResilientBackend(_DownBackend(), retry=_FAST_RETRY)
+    breaker = CircuitBreaker(threshold=1, cooldown_s=3600.0, probes=1)
+    store = ArtifactStore(str(tmp_path / name), backend=backend, breaker=breaker)
+    try:  # one failed remote miss trips the threshold-1 breaker
+        store.get_json("result", "f" * 64)
+    except MissingArtifactError:
+        pass
+    assert store.degraded
+    return store
+
+
+@pytest.mark.benchmark(group="store_backends")
+def test_cold_restore_vs_prefetch_warm(benchmark, suite, tmp_path):
+    """Restore-from-remote latency vs reads a prefetch already warmed."""
+    shared = _seed_shared_remote(tmp_path)
+
+    def cold_read_all():
+        remote = SimulatedRemoteBackend(shared, latency_s=REMOTE_LATENCY_S)
+        store = ArtifactStore(
+            str(tmp_path / f"cold{next(_fresh)}"), backend=remote
+        )
+        _read_all(store)
+        return store
+
+    cold_s = suite.measure(
+        "restore_cold_s", cold_read_all, n_artifacts=N_ARTIFACTS
+    )
+
+    warmed = ArtifactStore(
+        str(tmp_path / "warmed"),
+        backend=SimulatedRemoteBackend(shared, latency_s=REMOTE_LATENCY_S),
+    )
+    for digest in DIGESTS:  # the work prefetch overlaps with compute
+        assert warmed.warm("suite", digest)
+    warm_s = suite.measure(
+        "read_warm_s", lambda: _read_all(warmed), n_artifacts=N_ARTIFACTS
+    )
+    suite.record(
+        "prefetch_speedup", cold_s / warm_s, unit="x", higher_is_better=True
+    )
+    assert warmed.stats.prefetched == N_ARTIFACTS
+    benchmark.pedantic(cold_read_all, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="store_backends")
+def test_degraded_local_read_overhead(benchmark, suite, tmp_path):
+    """Local cache hits with the breaker open vs a plain local store."""
+    local = ArtifactStore(str(tmp_path / "local"), store_url="")
+    for digest in DIGESTS:
+        local.put_arrays("suite", digest, PAYLOAD)
+    local_s = suite.measure("local_hit_s", lambda: _read_all(local), repeats=5)
+
+    degraded = _degraded_store(tmp_path, "local")  # same root, remote down
+    degraded_s = suite.measure(
+        "degraded_hit_s", lambda: _read_all(degraded), repeats=5
+    )
+    suite.record(
+        "degraded_read_overhead",
+        degraded_s / local_s,
+        unit="x",
+        higher_is_better=False,
+    )
+    benchmark.pedantic(lambda: _read_all(degraded), rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="store_backends")
+def test_degraded_journaled_put_overhead(benchmark, suite, tmp_path):
+    """Writes while degraded (local + journal entry) vs plain local writes."""
+    local = ArtifactStore(str(tmp_path / "plain"), store_url="")
+    plain_digests = (f"{index:060x}aaaa" for index in itertools.count())
+    local_s = suite.measure(
+        "local_put_s",
+        lambda: local.put_json("result", next(plain_digests), {"v": 1}),
+        repeats=5,
+    )
+
+    degraded = _degraded_store(tmp_path, "journaled")
+    degraded_digests = (f"{index:060x}bbbb" for index in itertools.count())
+
+    def journaled_put():
+        degraded.put_json("result", next(degraded_digests), {"v": 1})
+
+    degraded_s = suite.measure("journaled_put_s", journaled_put, repeats=5)
+    suite.record(
+        "journaled_put_overhead",
+        degraded_s / local_s,
+        unit="x",
+        higher_is_better=False,
+    )
+    assert degraded.journal_pending() > 0
+    benchmark.pedantic(journaled_put, rounds=3, iterations=1)

@@ -49,6 +49,24 @@ from typing import List, Optional
 from repro.version import __version__
 
 
+def add_store_url_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--store-url`` option.
+
+    Selects the remote store backend behind the local artifact cache
+    (``file://``, ``mem://``, ``sim://``); every subcommand that opens a
+    store routes through this helper so the flag behaves identically
+    everywhere.
+    """
+    parser.add_argument(
+        "--store-url",
+        default=None,
+        metavar="URL",
+        help="remote store backend URL — file:///path, mem://name or "
+        "sim://name?latency_ms=&error_rate= (default: $REPRO_STORE_URL; "
+        "empty = local-only)",
+    )
+
+
 def add_workers_argument(parser: argparse.ArgumentParser, default: str = None) -> None:
     """Attach the shared ``--workers`` option.
 
@@ -92,6 +110,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         progress=_progress_printer if args.verbose else None,
         require_cached=True if args.require_cached else None,
         checkpoint_every=args.checkpoint_every,
+        store_url=args.store_url,
     )
     result = session.run(spec)
 
@@ -272,7 +291,7 @@ def _cmd_attacks(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.experiments import ArtifactStore
 
-    store = ArtifactStore(args.store)
+    store = ArtifactStore(args.store, store_url=args.store_url)
     findings = store.verify(repair=not args.no_repair)
     entries = store.entries()
     print(f"artifact store {store.root}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
@@ -304,6 +323,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     app = ServiceApp(
         store=args.store,
+        store_url=args.store_url,
         workers=args.job_workers,
         queue_depth=args.queue_depth,
         session_workers=args.workers,
@@ -332,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
     )
+    add_store_url_argument(run)
     run.add_argument("--output", default="", help="also write the result JSON here")
     run.add_argument(
         "--require-cached",
@@ -416,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
     )
+    add_store_url_argument(verify)
     verify.add_argument(
         "--no-repair",
         action="store_true",
@@ -435,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="artifact store root (default: $REPRO_ARTIFACT_DIR or ~/.cache/repro)",
     )
+    add_store_url_argument(serve)
     serve.add_argument(
         "--job-workers",
         type=int,

@@ -60,6 +60,12 @@ class MissingArtifactError(ReproError):
     requested artifact is not in the store — the mechanism CI uses to assert
     that a repeated run is served entirely from the artifact store.
 
+    Also raised by :class:`repro.experiments.store.ArtifactStore` when a
+    remote store backend is *degraded* (its circuit breaker is open) and a
+    read misses the local cache — ``backend_degraded`` is True in that case,
+    so callers can distinguish "nobody ever computed this" from "it may
+    exist remotely but the backend is unreachable right now".
+
     Carries enough context to act on the failure: the content hash of the
     missing artifact (``digest``), the store path that was probed (``path``),
     and — for trained models — the nearest available checkpoint epoch
@@ -73,16 +79,30 @@ class MissingArtifactError(ReproError):
         digest: str = None,
         path: str = None,
         checkpoint_epoch: int = None,
+        backend_degraded: bool = False,
     ) -> None:
         super().__init__(message)
         self.kind = kind
         self.digest = digest
         self.path = path
         self.checkpoint_epoch = checkpoint_epoch
+        self.backend_degraded = bool(backend_degraded)
 
 
 class LeaseHeldError(ReproError):
     """Raised when a single-writer store lease is held by a live writer."""
+
+
+class PreconditionFailedError(ReproError):
+    """Raised when a conditional store-backend put fails its ETag check.
+
+    ``put_atomic(..., if_match=etag)`` raises this when the stored object's
+    ETag no longer matches (someone replaced it), and
+    ``put_atomic(..., if_none_match=True)`` when the key already exists.
+    For content-addressed artifacts the latter is a *success* signal — the
+    identical payload is already uploaded — which is how the store's remote
+    write path deduplicates concurrent uploads from multiple hosts.
+    """
 
 
 class DeadlineExceededError(ReproError):

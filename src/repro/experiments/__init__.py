@@ -21,6 +21,20 @@ reuses every cached artifact (:mod:`repro.experiments.session`).
 """
 
 from repro.errors import SpecValidationError
+from repro.experiments.backends import (
+    STORE_URL_ENV_VAR,
+    Blob,
+    CircuitBreaker,
+    InMemoryBackend,
+    LocalDirBackend,
+    ResilientBackend,
+    SimulatedRemoteBackend,
+    StoreBackend,
+    WriteJournal,
+    backend_from_url,
+    reset_memory_backends,
+    shared_memory_backend,
+)
 from repro.experiments.spec import (
     ARCHITECTURES,
     DATASETS,
@@ -37,6 +51,7 @@ from repro.experiments.spec import (
 )
 from repro.experiments.store import (
     LEASE_TTL_ENV_VAR,
+    QUARANTINE_TTL_ENV_VAR,
     STORE_ENV_VAR,
     ArtifactEntry,
     ArtifactStore,
@@ -50,6 +65,7 @@ from repro.experiments.store import (
 )
 from repro.experiments.session import (
     CHECKPOINT_EVERY_ENV_VAR,
+    PREFETCH_ENV_VAR,
     REQUIRE_CACHED_ENV_VAR,
     ExperimentResult,
     ProgressEvent,
@@ -81,9 +97,23 @@ __all__ = [
     "default_store_root",
     "STORE_ENV_VAR",
     "LEASE_TTL_ENV_VAR",
+    "QUARANTINE_TTL_ENV_VAR",
     "Session",
     "ExperimentResult",
     "ProgressEvent",
     "REQUIRE_CACHED_ENV_VAR",
     "CHECKPOINT_EVERY_ENV_VAR",
+    "PREFETCH_ENV_VAR",
+    "StoreBackend",
+    "Blob",
+    "LocalDirBackend",
+    "InMemoryBackend",
+    "SimulatedRemoteBackend",
+    "ResilientBackend",
+    "CircuitBreaker",
+    "WriteJournal",
+    "backend_from_url",
+    "shared_memory_backend",
+    "reset_memory_backends",
+    "STORE_URL_ENV_VAR",
 ]

@@ -69,6 +69,10 @@ REQUIRE_CACHED_ENV_VAR = "REPRO_REQUIRE_CACHED"
 #: environment variable setting the default checkpoint cadence (epochs)
 CHECKPOINT_EVERY_ENV_VAR = "REPRO_CHECKPOINT_EVERY"
 
+#: environment variable toggling speculative prefetch ("0"/"false" disables;
+#: default: enabled whenever the store has a remote backend)
+PREFETCH_ENV_VAR = "REPRO_PREFETCH"
+
 #: version tag written into stored result payloads
 RESULT_VERSION = 1
 
@@ -90,10 +94,13 @@ class ProgressEvent:
 
     ``stage`` is one of ``"model"``, ``"train"`` (one event per training
     epoch, carrying loss/accuracy in ``detail``), ``"suite"``,
-    ``"victims"``, ``"evaluate"`` or ``"result"``; ``status`` is ``"hit"``
-    (served from the store), ``"compute"`` (paid for), ``"store"``
-    (written back), ``"resume"`` (training restarted from a checkpoint)
-    or ``"wait"`` (blocked on another writer's training lease).
+    ``"victims"``, ``"evaluate"``, ``"result"`` or ``"prefetch"``
+    (speculative remote→local warming); ``status`` is ``"hit"`` (served
+    from the store), ``"compute"`` (paid for), ``"store"`` (written
+    back), ``"resume"`` (training restarted from a checkpoint), ``"wait"``
+    (blocked on another writer's training lease) or ``"degraded"`` (a
+    read missed the local cache while the remote backend's circuit
+    breaker was open — the stage recomputes instead).
 
     ``seq`` is a per-session monotonic sequence number (1-based, gap-free
     across all stages, assigned under a lock so concurrent runs on one
@@ -276,6 +283,17 @@ class Session:
     lease_timeout_s / lease_poll_s:
         How long to wait on another writer before training anyway, and the
         poll interval while waiting.
+    store_url:
+        Remote backend URL (``file://``, ``mem://``, ``sim://``) attached
+        to the store when ``store`` is a root path or ``None``; defaults
+        to ``$REPRO_STORE_URL``.  Ignored when ``store`` is already an
+        :class:`ArtifactStore`.
+    prefetch:
+        Speculatively warm the artifacts the spec DAG needs next (model
+        weights, adversarial suites) remote→local on a background thread
+        while the current stage computes.  Defaults to the
+        ``REPRO_PREFETCH`` environment variable, else to "on whenever the
+        store has a remote backend".  Results are invariant to it.
     """
 
     def __init__(
@@ -288,11 +306,23 @@ class Session:
         lease_training: bool = True,
         lease_timeout_s: float = 600.0,
         lease_poll_s: float = 0.5,
+        store_url: Optional[str] = None,
+        prefetch: Optional[bool] = None,
     ) -> None:
         if isinstance(store, ArtifactStore):
             self.store = store
         else:
-            self.store = ArtifactStore(store)
+            self.store = ArtifactStore(store, store_url=store_url)
+        if prefetch is None:
+            raw = os.environ.get(PREFETCH_ENV_VAR, "").strip().lower()
+            if raw in ("0", "false", "no"):
+                prefetch = False
+            elif raw:
+                prefetch = True
+            else:
+                prefetch = self.store.remote is not None
+        self.prefetch = bool(prefetch)
+        self._prefetch_threads: List[threading.Thread] = []
         self.workers = workers
         self.progress = progress
         if require_cached is None:
@@ -348,6 +378,65 @@ class Session:
                 detail,
                 exc_info=True,
             )
+
+    def _cached_arrays(self, kind: str, digest: str) -> Optional[Dict[str, np.ndarray]]:
+        """``store.get_arrays`` that treats a degraded-backend miss as a miss.
+
+        When the store's remote backend is degraded (circuit open) a local
+        miss raises :class:`MissingArtifactError` with ``backend_degraded``
+        set.  A session can always recompute the artifact bit-identically
+        from the spec, so outside cache-only mode the degradation is
+        reported as progress and the miss falls through to the compute
+        path; under ``require_cached`` the error propagates, because there
+        recomputing is exactly what the caller forbade.
+        """
+        try:
+            return self.store.get_arrays(kind, digest)
+        except MissingArtifactError as exc:
+            if not getattr(exc, "backend_degraded", False) or self.require_cached:
+                raise
+            self._emit(kind, "degraded", f"{digest[:12]} recomputing locally")
+            return None
+
+    def _cached_json(self, kind: str, digest: str) -> Optional[dict]:
+        """``store.get_json`` with the same degraded-miss policy as above."""
+        try:
+            return self.store.get_json(kind, digest)
+        except MissingArtifactError as exc:
+            if not getattr(exc, "backend_degraded", False) or self.require_cached:
+                raise
+            self._emit(kind, "degraded", f"{digest[:12]} recomputing locally")
+            return None
+
+    # ------------------------------------------------------------- prefetch
+    def _prefetch(self, keys: Sequence[Tuple[str, str]]) -> None:
+        """Warm ``(kind, digest)`` artifacts remote→local in the background.
+
+        Fire-and-forget: runs on a daemon thread, never raises into the run,
+        and is a no-op when prefetch is disabled or the store has no remote
+        backend.  Purely a latency optimisation — results are bit-identical
+        with or without it.
+        """
+        if not self.prefetch or self.store.remote is None or not keys:
+            return
+        batch = list(keys)
+        self._emit("prefetch", "compute", f"warming {len(batch)} artifacts")
+
+        def _warm() -> None:
+            for kind, digest in batch:
+                self.store.warm(kind, digest)
+
+        thread = threading.Thread(
+            target=_warm, name="repro-prefetch", daemon=True
+        )
+        thread.start()
+        self._prefetch_threads.append(thread)
+
+    def wait_for_prefetch(self, timeout_s: Optional[float] = None) -> None:
+        """Block until outstanding prefetch threads finish (tests/shutdown)."""
+        threads, self._prefetch_threads = self._prefetch_threads, []
+        for thread in threads:
+            thread.join(timeout=timeout_s)
 
     def _forbid_compute(
         self,
@@ -522,7 +611,7 @@ class Session:
         digest: str,
     ) -> Optional[TrainedModel]:
         """Load the stored weights into ``model``, or ``None`` on a miss."""
-        arrays = self.store.get_arrays("model", digest)
+        arrays = self._cached_arrays("model", digest)
         if arrays is None:
             return None
         try:
@@ -615,7 +704,7 @@ class Session:
             model_spec, attack_spec, epsilons, sweep.n_samples, seed
         )
         if use_cache:
-            arrays = self.store.get_arrays("suite", digest)
+            arrays = self._cached_arrays("suite", digest)
             if arrays is not None:
                 try:
                     suite = AdversarialSuite(
@@ -722,7 +811,7 @@ class Session:
         workers = workers if workers is not None else self.workers
         digest = spec.content_hash()
         if use_cache:
-            payload = self.store.get_json("result", digest)
+            payload = self._cached_json("result", digest)
             if payload is not None:
                 try:
                     result = ExperimentResult.from_dict(payload, spec=spec)
@@ -747,9 +836,27 @@ class Session:
         result.elapsed_s = time.perf_counter() - start
         return result
 
+    def _suite_keys(self, spec: ExperimentSpec, model_spec: ModelSpec) -> List[Tuple[str, str]]:
+        """The ``("suite", digest)`` store keys a spec's sweep will read."""
+        epsilons = [float(eps) for eps in spec.sweep.epsilons]
+        return [
+            (
+                "suite",
+                self.suite_digest(
+                    model_spec, attack_spec, epsilons, spec.sweep.n_samples, spec.seed
+                ),
+            )
+            for attack_spec in spec.attacks
+        ]
+
     def _run_panel(
         self, spec: ExperimentSpec, workers: WorkerSpec, use_cache: bool
     ) -> ExperimentResult:
+        if use_cache:
+            self._prefetch(
+                [("model", spec.model.content_hash())]
+                + self._suite_keys(spec, spec.model)
+            )
         trained = self.resolve_model(spec.model, use_cache=use_cache, workers=workers)
         victims = self.build_victims(trained, spec.victims)
         grids: List[RobustnessGrid] = []
@@ -790,6 +897,11 @@ class Session:
     def _run_quantization(
         self, spec: ExperimentSpec, workers: WorkerSpec, use_cache: bool
     ) -> ExperimentResult:
+        if use_cache:
+            self._prefetch(
+                [("model", spec.model.content_hash())]
+                + self._suite_keys(spec, spec.model)
+            )
         trained = self.resolve_model(spec.model, use_cache=use_cache, workers=workers)
         calibration = trained.dataset.train.images[
             : spec.victims.calibration_samples
@@ -831,6 +943,12 @@ class Session:
         epsilon = float(spec.sweep.epsilons[0])
         attack_spec = spec.attacks[0]
         multiplier = spec.victims.multipliers[0]
+        if use_cache:
+            keys: List[Tuple[str, str]] = []
+            for model_spec in spec.source_models():
+                keys.append(("model", model_spec.content_hash()))
+                keys.extend(self._suite_keys(spec, model_spec))
+            self._prefetch(keys)
         sources: List[Tuple[str, ModelSpec, TrainedModel]] = []
         seen: Dict[str, int] = {}
         for model_spec in spec.source_models():

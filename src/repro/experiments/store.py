@@ -38,6 +38,35 @@ Fault tolerance (the resilience layer, PR 6):
 * The store consults the fault points ``store.write``, ``store.read`` and
   ``store.corrupt`` (see :class:`repro.resilience.FaultInjector`), which is
   how the chaos suite drives all of the above without monkeypatching.
+
+Remote tier (PR 10): pointing the store at a backend URL
+(``REPRO_STORE_URL`` / the ``store_url`` argument / an explicit
+``backend``) layers a remote :class:`~repro.experiments.backends.
+StoreBackend` *behind* the local directory, which stays the authoritative
+cache for bit-identical reproduction:
+
+* Reads that miss locally fetch from the remote, re-hash the payload
+  against its ``payload_sha256`` sidecar (*read-repair*: mismatches are
+  quarantined and re-fetched once), and land in the local cache through
+  the same atomic write path as a local put.
+* Writes go through locally first, then upload write-through with
+  ``if_none_match`` conditional puts (a precondition failure means the
+  content-addressed payload is already uploaded — dedupe, not an error).
+* Every remote call runs under the
+  :class:`~repro.experiments.backends.ResilientBackend` (retry + per-call
+  timeout + optional hedged reads) and is accounted to a
+  :class:`~repro.experiments.backends.CircuitBreaker`.  When the breaker
+  opens the store *degrades* instead of hanging: reads are served from
+  the local cache, writes are journaled
+  (:class:`~repro.experiments.backends.WriteJournal`) for upload after
+  recovery, and a local read miss raises
+  :class:`~repro.errors.MissingArtifactError` with
+  ``backend_degraded=True``.  Recovery is automatic via half-open probe
+  requests; the journal flushes opportunistically on the next healthy
+  remote operation (or explicitly via :meth:`ArtifactStore.flush_journal`).
+* :meth:`ArtifactStore.warm` prefetches one artifact remote→local — the
+  Session's speculative-prefetch thread uses it to warm the next stage's
+  artifacts while the current stage computes.
 """
 
 from __future__ import annotations
@@ -53,12 +82,30 @@ import time
 import zipfile
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.config import env_float
-from repro.errors import ConfigurationError, LeaseHeldError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    LeaseHeldError,
+    MissingArtifactError,
+    PreconditionFailedError,
+)
+from repro.experiments.backends import (
+    STORE_URL_ENV_VAR,
+    CircuitBreaker,
+    ResilientBackend,
+    StoreBackend,
+    WriteJournal,
+    _atomic_write_with,
+    _sha256_file,
+    atomic_write_bytes,
+    atomic_write_json,
+    backend_from_url,
+)
 from repro.resilience import FaultInjector, RetryPolicy, corrupt_file
 
 #: environment variable overriding the default store root
@@ -67,8 +114,17 @@ STORE_ENV_VAR = "REPRO_ARTIFACT_DIR"
 #: environment variable overriding the default lease time-to-live (seconds)
 LEASE_TTL_ENV_VAR = "REPRO_LEASE_TTL"
 
+#: environment variable overriding the quarantine retention (seconds)
+QUARANTINE_TTL_ENV_VAR = "REPRO_QUARANTINE_TTL"
+
 #: default single-writer lease time-to-live
 DEFAULT_LEASE_TTL_S = 900.0
+
+#: default quarantine retention before verify()/prune sweep it (7 days)
+DEFAULT_QUARANTINE_TTL_S = 7 * 24 * 3600.0
+
+#: errors a remote backend call may fail with after retries
+_REMOTE_ERRORS = (OSError, DeadlineExceededError)
 
 #: tolerated wall-clock skew between lease writers (seconds) — expiry is a
 #: comparison of clocks stamped on different hosts (or on one host across a
@@ -98,9 +154,24 @@ def default_lease_ttl_s() -> float:
     return ttl
 
 
+def default_quarantine_ttl_s() -> float:
+    """The quarantine retention: ``$REPRO_QUARANTINE_TTL`` seconds or 7 days."""
+    ttl = env_float(QUARANTINE_TTL_ENV_VAR, DEFAULT_QUARANTINE_TTL_S)
+    if ttl <= 0:
+        raise ConfigurationError(
+            f"{QUARANTINE_TTL_ENV_VAR} must be positive, got {ttl}"
+        )
+    return ttl
+
+
 @dataclass
 class StoreStats:
-    """Hit/miss/put counters of one :class:`ArtifactStore` instance."""
+    """Hit/miss/put counters of one :class:`ArtifactStore` instance.
+
+    The ``remote_*`` / journal / prefetch counters only move when a remote
+    backend is configured; ``quarantine_swept`` counts quarantined files
+    removed by the TTL sweep in :meth:`ArtifactStore.verify` / ``prune``.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -108,6 +179,16 @@ class StoreStats:
     evictions: int = 0
     retries: int = 0
     quarantined: int = 0
+    quarantine_swept: int = 0
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_puts: int = 0
+    remote_failures: int = 0
+    journaled: int = 0
+    flushed: int = 0
+    read_repairs: int = 0
+    prefetched: int = 0
+    prefetch_hits: int = 0
 
     def snapshot(self) -> dict:
         """The counters as a plain dict."""
@@ -118,6 +199,16 @@ class StoreStats:
             "evictions": self.evictions,
             "retries": self.retries,
             "quarantined": self.quarantined,
+            "quarantine_swept": self.quarantine_swept,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_puts": self.remote_puts,
+            "remote_failures": self.remote_failures,
+            "journaled": self.journaled,
+            "flushed": self.flushed,
+            "read_repairs": self.read_repairs,
+            "prefetched": self.prefetched,
+            "prefetch_hits": self.prefetch_hits,
         }
 
 
@@ -154,60 +245,6 @@ def _validate_key(kind: str, digest: str) -> None:
         raise ConfigurationError(
             f"artifact digest must be a lowercase hex string, got {digest!r}"
         )
-
-
-def _sha256_file(path: str) -> str:
-    digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
-    return digest.hexdigest()
-
-
-def _atomic_write_with(path: str, writer, retry=None, on_retry=None) -> str:
-    """Write a file atomically (temp + ``os.replace``); returns the SHA-256.
-
-    ``writer(handle)`` receives the open binary temp file.  Consults the
-    ``store.write`` fault point before each attempt and retries transient
-    IO errors under ``retry`` (default :meth:`RetryPolicy.from_env`) — the
-    single write path shared by the artifact store, the benchmark-result
-    recorder and the benchmark drivers, so an interrupt mid-dump can never
-    leave a torn file behind at ``path``.
-    """
-    policy = retry if retry is not None else RetryPolicy.from_env()
-
-    def attempt() -> str:
-        FaultInjector.consult("store.write")
-        directory = os.path.dirname(path) or "."
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                writer(handle)
-            payload_hash = _sha256_file(temp_path)
-            os.replace(temp_path, path)
-        except BaseException:
-            if os.path.exists(temp_path):
-                os.unlink(temp_path)
-            raise
-        return payload_hash
-
-    return policy.run(
-        attempt, description=f"store write {path}", on_retry=on_retry
-    )
-
-
-def atomic_write_bytes(path: str, data: bytes, retry=None) -> str:
-    """Atomically replace ``path`` with ``data``; returns the payload SHA-256."""
-    return _atomic_write_with(path, lambda handle: handle.write(data), retry=retry)
-
-
-def atomic_write_json(path: str, payload, retry=None, indent: int = 2) -> str:
-    """Atomically replace ``path`` with ``payload`` as JSON; returns the SHA-256."""
-    body = json.dumps(payload, indent=indent, sort_keys=True).encode("utf-8")
-    return atomic_write_bytes(path, body, retry=retry)
 
 
 def _lease_skew_s(doc: dict) -> float:
@@ -404,16 +441,47 @@ class ArtifactStore:
     ``retry`` governs transient-IO retries on every read and write
     (default: :meth:`RetryPolicy.from_env`, honouring ``REPRO_MAX_RETRIES``
     / ``REPRO_RETRY_BACKOFF``).
+
+    A *remote tier* is attached by passing a
+    :class:`~repro.experiments.backends.StoreBackend` (``backend``), a
+    backend URL (``store_url``), or by setting ``$REPRO_STORE_URL``
+    (precedence in that order).  The local directory stays the
+    authoritative cache; the remote backend is consulted on local read
+    misses and written through on puts — see the module docstring for the
+    degradation/recovery ladder.  ``breaker`` injects a pre-built
+    :class:`~repro.experiments.backends.CircuitBreaker` (tests use a fake
+    clock); the default is :meth:`CircuitBreaker.from_env`.
     """
 
     def __init__(
-        self, root: Optional[str] = None, retry: Optional[RetryPolicy] = None
+        self,
+        root: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        backend: Optional[StoreBackend] = None,
+        store_url: Optional[str] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.root = os.path.abspath(root if root is not None else default_store_root())
         self.stats = StoreStats()
         self.retry = retry if retry is not None else RetryPolicy.from_env()
         self._lock = threading.Lock()
         os.makedirs(self.root, exist_ok=True)
+        if store_url is None:
+            store_url = os.environ.get(STORE_URL_ENV_VAR) or None
+        self.store_url = store_url
+        if backend is None and store_url:
+            backend = backend_from_url(store_url)
+        if backend is not None and not isinstance(backend, ResilientBackend):
+            backend = ResilientBackend.from_env(backend)
+        self.remote: Optional[ResilientBackend] = backend
+        self.breaker: Optional[CircuitBreaker] = None
+        self.journal: Optional[WriteJournal] = None
+        if self.remote is not None:
+            self.breaker = breaker if breaker is not None else CircuitBreaker.from_env()
+            self.journal = WriteJournal(
+                os.path.join(self.root, ".journal", "pending.json")
+            )
+        self._warmed: Set[Tuple[str, str]] = set()
 
     def _count_retry(self, attempt: int, exc: BaseException) -> None:
         self.stats.retries += 1
@@ -471,8 +539,11 @@ class ArtifactStore:
         """Load an array artifact, or ``None`` on a miss.
 
         Transient IO errors are retried; an entry that still cannot be read
-        (torn, truncated, bit-rotted) is quarantined and reported as a miss,
-        so the caller recomputes instead of crashing.
+        (torn, truncated, bit-rotted) is quarantined and reported as a miss
+        — unless a remote backend holds a clean copy, in which case the
+        local cache is repaired from it and the read succeeds.  With a
+        *degraded* remote (circuit open) a local miss raises
+        :class:`MissingArtifactError` with ``backend_degraded=True``.
         """
         path = self._path(kind, digest, ".npz")
 
@@ -481,23 +552,18 @@ class ArtifactStore:
             with np.load(path) as archive:
                 return {key: archive[key] for key in archive.files}
 
-        with self._lock:
-            if not os.path.exists(path):
-                self.stats.misses += 1
-                return None
+        def load() -> Optional[Dict[str, np.ndarray]]:
             try:
-                arrays = self.retry.run(
+                return self.retry.run(
                     attempt,
                     description=f"store read {kind}/{digest[:12]}",
                     on_retry=self._count_retry,
                 )
             except (OSError, ValueError, zipfile.BadZipFile, zlib.error):
-                # torn or corrupted entry: quarantine it and report a miss
-                self.stats.misses += 1
-                self._quarantine_entry(kind, digest)
                 return None
-            self.stats.hits += 1
-            return arrays
+
+        with self._lock:
+            return self._serve(kind, digest, ".npz", path, load)
 
     def put_arrays(
         self,
@@ -516,6 +582,10 @@ class ArtifactStore:
             )
             self._write_meta(kind, digest, meta, payload_hash)
             self.stats.puts += 1
+            # write-through before the corrupt fault seam: the upload ships
+            # the bytes that were actually written; scripted local rot
+            # happens to the local copy afterwards (and read-repair heals it)
+            self._push_remote(kind, digest)
             self._apply_corrupt_fault(path)
         return path
 
@@ -528,22 +598,55 @@ class ArtifactStore:
             with open(path) as handle:
                 return json.load(handle)
 
-        with self._lock:
-            if not os.path.exists(path):
-                self.stats.misses += 1
-                return None
+        def load():
             try:
-                payload = self.retry.run(
+                return self.retry.run(
                     attempt,
                     description=f"store read {kind}/{digest[:12]}",
                     on_retry=self._count_retry,
                 )
             except (OSError, ValueError):
-                self.stats.misses += 1
-                self._quarantine_entry(kind, digest)
                 return None
-            self.stats.hits += 1
-            return payload
+
+        with self._lock:
+            return self._serve(kind, digest, ".json", path, load)
+
+    def _serve(self, kind: str, digest: str, extension: str, path: str, load):
+        """The shared read ladder of :meth:`get_arrays`/:meth:`get_json`.
+
+        Called under the store lock.  ``load()`` parses the local payload
+        (``None`` for torn/corrupt).  Ladder: local file → remote restore
+        on absence → quarantine + one remote repair on local corruption →
+        malformed-meta check — any dead end is a counted miss (raising
+        instead when the remote is degraded).
+        """
+        if not os.path.exists(path):
+            if not self._restore_remote(kind, digest, extension):
+                self.stats.misses += 1
+                self._raise_if_degraded(kind, digest, path)
+                return None
+        payload = load()
+        if payload is None:
+            # torn or corrupted local entry: quarantine it, then repair
+            # from the remote copy when one is reachable and clean
+            self._quarantine_entry(kind, digest)
+            if self._restore_remote(kind, digest, extension):
+                payload = load()
+                if payload is None:
+                    self._quarantine_entry(kind, digest)
+        if payload is not None and self._meta_malformed(kind, digest):
+            # a malformed/truncated meta sidecar is treated exactly like a
+            # corrupt payload: quarantine the entry and report a miss
+            self._quarantine_entry(kind, digest)
+            payload = None
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if (kind, digest) in self._warmed:
+            self._warmed.discard((kind, digest))
+            self.stats.prefetch_hits += 1
+        return payload
 
     def put_json(self, kind: str, digest: str, payload, meta: Optional[dict] = None) -> str:
         """Store a JSON artifact; returns the payload path."""
@@ -553,19 +656,264 @@ class ArtifactStore:
             payload_hash = self._atomic_write(path, lambda handle: handle.write(body))
             self._write_meta(kind, digest, meta, payload_hash)
             self.stats.puts += 1
+            self._push_remote(kind, digest)
             self._apply_corrupt_fault(path)
         return path
 
-    def get_meta(self, kind: str, digest: str) -> Optional[dict]:
-        """Load the provenance sidecar of an artifact, if one was written."""
+    def _read_meta_raw(self, kind: str, digest: str) -> Tuple[Optional[dict], bool]:
+        """``(meta, malformed)`` — malformed means the sidecar exists but
+        does not parse (truncated or torn), as opposed to simply absent."""
         path = self._path(kind, digest, ".meta.json")
         if not os.path.exists(path):
-            return None
+            return None, False
         try:
             with open(path) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+                return json.load(handle), False
+        except ValueError:
+            return None, True
+        except OSError:
+            return None, False
+
+    def _meta_malformed(self, kind: str, digest: str) -> bool:
+        return self._read_meta_raw(kind, digest)[1]
+
+    def get_meta(self, kind: str, digest: str) -> Optional[dict]:
+        """Load the provenance sidecar of an artifact, if one was written.
+
+        A malformed or truncated sidecar is treated like a corrupt payload
+        — the whole entry is quarantined and the read reports ``None`` —
+        instead of surfacing a parse error or silently trusting an entry
+        whose provenance cannot be read.
+        """
+        meta, malformed = self._read_meta_raw(kind, digest)
+        if malformed:
+            self._quarantine_entry(kind, digest)
             return None
+        return meta
+
+    # ----------------------------------------------------------- remote tier
+    @property
+    def degraded(self) -> bool:
+        """Whether the remote backend is degraded (circuit breaker open)."""
+        return self.breaker is not None and self.breaker.state == "open"
+
+    def breaker_state_code(self) -> int:
+        """The breaker state as a gauge: 0 closed (or no remote), 1 half-open, 2 open."""
+        return 0 if self.breaker is None else self.breaker.state_code()
+
+    def journal_pending(self) -> int:
+        """Journaled writes awaiting upload (0 without a remote)."""
+        return 0 if self.journal is None else len(self.journal)
+
+    @staticmethod
+    def _remote_key(kind: str, digest: str, extension: str) -> str:
+        return f"{kind}/{digest}{extension}"
+
+    def _raise_if_degraded(self, kind: str, digest: str, path: str) -> None:
+        if self.remote is None or not self.degraded:
+            return
+        raise MissingArtifactError(
+            f"artifact {kind}/{digest[:12]} is not in the local cache and the "
+            f"remote backend ({self.remote.describe()}) is degraded (circuit "
+            f"open); it may exist remotely — retry after the breaker recovers",
+            kind=kind,
+            digest=digest,
+            path=path,
+            backend_degraded=True,
+        )
+
+    def _quarantine_fetched_bytes(
+        self, kind: str, digest: str, extension: str, data: bytes
+    ) -> None:
+        """Preserve a hash-mismatched remote payload for debugging."""
+        target = self._quarantine_path(kind, f"{digest}{extension}.fetched")
+        try:
+            os.makedirs(os.path.dirname(target), exist_ok=True)
+            with open(target, "wb") as handle:
+                handle.write(data)
+        except OSError:  # pragma: no cover - debris preservation is best-effort
+            pass
+
+    def _restore_remote(self, kind: str, digest: str, extension: str) -> bool:
+        """Fetch one artifact remote→local cache; True when restored.
+
+        Called under the store lock.  Applies read-repair: the fetched
+        payload is re-hashed against the ``payload_sha256`` recorded in
+        its remote meta sidecar; a mismatch quarantines the fetched bytes
+        and re-fetches exactly once (a torn upload or stale read), and a
+        second mismatch is a remote miss.  Transport failures are
+        accounted to the circuit breaker; payload-integrity failures are
+        not (the transport worked — the bytes are just wrong).
+        """
+        if self.remote is None or not self.breaker.allow():
+            return False
+        key = self._remote_key(kind, digest, extension)
+        meta_key = self._remote_key(kind, digest, ".meta.json")
+        try:
+            blob = self.remote.get(key)
+            meta_blob = self.remote.get(meta_key) if blob is not None else None
+        except _REMOTE_ERRORS:
+            self.breaker.record_failure()
+            self.stats.remote_failures += 1
+            return False
+        if blob is None:
+            self.breaker.record_success()
+            self.stats.remote_misses += 1
+            return False
+        expected = None
+        if meta_blob is not None:
+            try:
+                expected = json.loads(meta_blob.data).get("payload_sha256")
+            except ValueError:
+                expected = None
+        data = blob.data
+        if expected is not None and hashlib.sha256(data).hexdigest() != expected:
+            # read-repair: quarantine the bad bytes, re-fetch exactly once
+            self.stats.read_repairs += 1
+            self._quarantine_fetched_bytes(kind, digest, extension, data)
+            try:
+                blob = self.remote.get(key)
+            except _REMOTE_ERRORS:
+                self.breaker.record_failure()
+                self.stats.remote_failures += 1
+                return False
+            if (
+                blob is None
+                or hashlib.sha256(blob.data).hexdigest() != expected
+            ):
+                self.breaker.record_success()
+                self.stats.remote_misses += 1
+                return False
+            data = blob.data
+        self.breaker.record_success()
+        try:
+            self._atomic_write(
+                self._path(kind, digest, extension),
+                lambda handle: handle.write(data),
+            )
+            if meta_blob is not None:
+                meta_data = meta_blob.data
+                self._atomic_write(
+                    self._path(kind, digest, ".meta.json"),
+                    lambda handle: handle.write(meta_data),
+                )
+        except OSError:
+            return False
+        self.stats.remote_hits += 1
+        self._flush_journal_locked()
+        return True
+
+    def _upload_entry(self, kind: str, digest: str) -> bool:
+        """Upload one locally-cached artifact (payload + meta) to the remote.
+
+        Content-addressed dedupe: the payload goes up with
+        ``if_none_match=True`` and a precondition failure counts as
+        success (an identical payload is already there).  Raises the
+        transport error on failure; returns False when the local payload
+        has vanished (nothing to upload).
+        """
+        path = self._payload_path(kind, digest)
+        if path is None:
+            return False
+        extension = ".npz" if path.endswith(".npz") else ".json"
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        try:
+            self.remote.put_atomic(
+                self._remote_key(kind, digest, extension),
+                payload,
+                if_none_match=True,
+            )
+        except PreconditionFailedError:
+            pass  # already uploaded (same content address): success
+        meta_path = self._path(kind, digest, ".meta.json")
+        if os.path.exists(meta_path):
+            with open(meta_path, "rb") as handle:
+                meta_payload = handle.read()
+            # meta carries a creation timestamp, so last-writer-wins here
+            self.remote.put_atomic(
+                self._remote_key(kind, digest, ".meta.json"), meta_payload
+            )
+        return True
+
+    def _journal_add(self, kind: str, digest: str) -> None:
+        if self.journal is not None and self.journal.add(kind, digest):
+            self.stats.journaled += 1
+
+    def _push_remote(self, kind: str, digest: str) -> None:
+        """Write-through one just-put artifact (called under the lock)."""
+        if self.remote is None:
+            return
+        if not self.breaker.allow():
+            # degraded: journal the write for upload after recovery
+            self._journal_add(kind, digest)
+            return
+        try:
+            self._upload_entry(kind, digest)
+        except _REMOTE_ERRORS:
+            self.breaker.record_failure()
+            self.stats.remote_failures += 1
+            self._journal_add(kind, digest)
+            return
+        self.breaker.record_success()
+        self.stats.remote_puts += 1
+        self._flush_journal_locked()
+
+    def _flush_journal_locked(self) -> int:
+        """Drain journaled writes while the breaker stays willing."""
+        if self.journal is None:
+            return 0
+        flushed = 0
+        for kind, digest in self.journal.pending():
+            if not self.breaker.allow():
+                break
+            try:
+                uploaded = self._upload_entry(kind, digest)
+            except _REMOTE_ERRORS:
+                self.breaker.record_failure()
+                self.stats.remote_failures += 1
+                break
+            self.breaker.record_success()
+            self.journal.remove(kind, digest)
+            if uploaded:
+                self.stats.remote_puts += 1
+                self.stats.flushed += 1
+                flushed += 1
+            # a vanished payload (evicted while journaled) is just dropped
+        return flushed
+
+    def flush_journal(self) -> int:
+        """Upload journaled degraded-mode writes; returns the count flushed.
+
+        Flushing also happens opportunistically after any successful
+        remote operation, so an explicit call is only needed to bound
+        recovery time (e.g. at the end of a run).
+        """
+        with self._lock:
+            return self._flush_journal_locked()
+
+    def warm(self, kind: str, digest: str) -> bool:
+        """Prefetch one artifact into the local cache; True when it is local.
+
+        The Session's speculative-prefetch thread calls this for the
+        artifacts the next pipeline stage will need.  Already-local
+        entries are True without remote traffic; restored entries are
+        counted as ``prefetched`` and their first read as a
+        ``prefetch_hit``.  Never raises — a failed warm simply leaves the
+        read path to fetch (or recompute) later.
+        """
+        try:
+            with self._lock:
+                if self._payload_path(kind, digest) is not None:
+                    return True
+                for extension in (".npz", ".json"):
+                    if self._restore_remote(kind, digest, extension):
+                        self.stats.prefetched += 1
+                        self._warmed.add((kind, digest))
+                        return True
+                return False
+        except Exception:  # noqa: BLE001 - prefetch is opportunistic
+            return False
 
     # --------------------------------------------------------------- leases
     def lease(
@@ -618,12 +966,28 @@ class ArtifactStore:
             self.stats.quarantined += 1
         return moved
 
-    def evict(self, kind: str, digest: str) -> bool:
-        """Remove one artifact (and its sidecar); True when something was removed."""
+    def evict(self, kind: str, digest: str, remote: bool = True) -> bool:
+        """Remove one artifact (and its sidecar); True when something was removed.
+
+        ``remote`` also deletes the remote copy (best-effort) — an evicted
+        artifact is *invalid* (e.g. weights from an incompatible build)
+        and must not be restored on the next read.  ``prune`` passes
+        ``remote=False``: trimming the local cache for capacity must not
+        destroy the remote tier it would refill from.
+        """
         with self._lock:
             removed = self._unlink_entry(kind, digest)
             if removed:
                 self.stats.evictions += 1
+            if remote and self.remote is not None and self.breaker.allow():
+                try:
+                    for extension in (".npz", ".json", ".meta.json"):
+                        self.remote.delete(
+                            self._remote_key(kind, digest, extension)
+                        )
+                except _REMOTE_ERRORS:
+                    self.breaker.record_failure()
+                    self.stats.remote_failures += 1
             return removed
 
     def clear(self) -> int:
@@ -702,9 +1066,11 @@ class ArtifactStore:
                 # deleting now could tear their artifact, and it is no
                 # longer the LRU candidate the scan believed it was
                 continue
-            if self.evict(entry.kind, entry.digest):
+            if self.evict(entry.kind, entry.digest, remote=False):
                 total -= entry.size_bytes
                 evicted.append(entry)
+        with self._lock:
+            self._sweep_quarantine()
         return evicted
 
     # ---------------------------------------------------------------- verify
@@ -740,7 +1106,9 @@ class ArtifactStore:
         return findings
 
     def _check_entry(self, entry: ArtifactEntry) -> Optional[str]:
-        meta = self.get_meta(entry.kind, entry.digest)
+        meta, malformed = self._read_meta_raw(entry.kind, entry.digest)
+        if malformed:
+            return "malformed meta sidecar"
         expected = (meta or {}).get("payload_sha256")
         if expected is not None:
             try:
@@ -784,6 +1152,36 @@ class ArtifactStore:
                             os.unlink(path)
                 except (OSError, ValueError):  # pragma: no cover - raced
                     continue
+        self._sweep_quarantine()
+
+    def _sweep_quarantine(self) -> None:
+        """Bound the quarantine area: drop files past their retention TTL.
+
+        Quarantined artifacts exist for debugging, not forever —
+        ``$REPRO_QUARANTINE_TTL`` (default 7 days) after quarantining they
+        have either been looked at or never will be.  Swept files are
+        counted in ``StoreStats.quarantine_swept``.
+        """
+        ttl = default_quarantine_ttl_s()
+        now = time.time()
+        quarantine_root = os.path.join(self.root, QUARANTINE_DIR)
+        if not os.path.isdir(quarantine_root):
+            return
+        for dirpath, dirnames, filenames in os.walk(quarantine_root, topdown=False):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                try:
+                    if now - os.path.getmtime(path) > ttl:
+                        os.unlink(path)
+                        self.stats.quarantine_swept += 1
+                except OSError:  # pragma: no cover - raced removal
+                    continue
+            # prune now-empty kind directories so the area stays tidy
+            try:
+                if dirpath != quarantine_root and not os.listdir(dirpath):
+                    os.rmdir(dirpath)
+            except OSError:  # pragma: no cover - raced
+                continue
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore(root={self.root!r})"
@@ -844,7 +1242,11 @@ class TrainingCheckpointer:
             digest = self.digest(epoch)
             if not self.store.has(self.KIND, digest):
                 continue
-            arrays = self.store.get_arrays(self.KIND, digest)
+            try:
+                arrays = self.store.get_arrays(self.KIND, digest)
+            except MissingArtifactError:
+                # degraded remote mid-probe: fall back to an older epoch
+                continue
             if arrays is not None:
                 return epoch, arrays
         return None

@@ -23,7 +23,9 @@ that recovery on:
 :class:`FaultInjector` / :class:`FaultRule`
     A process-global, deterministically scripted fault plan.  Production
     code consults *named fault points* (``store.write``, ``pool.process``,
-    ``trainer.epoch``, ...) via :meth:`FaultInjector.consult`; with no plan
+    ``trainer.epoch``, and the remote-store points ``backend.get`` /
+    ``backend.put`` / ``backend.head`` / ``backend.list`` /
+    ``backend.delete``, ...) via :meth:`FaultInjector.consult`; with no plan
     active the consult is a single attribute check and the runtime cost is
     nil.  A chaos test activates a plan — "raise ``OSError`` on the second
     store write", "SIGKILL the worker crafting shard 3", "corrupt 8 bytes of

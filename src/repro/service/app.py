@@ -89,9 +89,14 @@ class ServiceApp:
         max_batch: int = 32,
         max_delay_s: float = 0.005,
         drain_timeout_s: float = 30.0,
+        store_url: Optional[str] = None,
     ) -> None:
         self.metrics = MetricsRegistry()
-        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.store = (
+            store
+            if isinstance(store, ArtifactStore)
+            else ArtifactStore(store, store_url=store_url)
+        )
         self.scheduler = JobScheduler(
             store=self.store,
             workers=workers,
@@ -156,12 +161,21 @@ class ServiceApp:
             "status": "draining" if draining else "ok",
             "queued": self.scheduler.queued_count,
             "running": self.scheduler.running_count,
+            # degraded = remote store circuit open, serving from local cache.
+            # Deliberately NOT a 503: the node still answers everything its
+            # cache (or a recompute) can serve, so it must stay in rotation.
+            "degraded": self.store.degraded,
         }
         return json_response(503 if draining else 200, payload)
 
     def _handle_metrics(self, request: Request) -> bytes:
         for name, value in self.store.stats.snapshot().items():
             self.metrics.set_gauge(f"store_{name}", float(value))
+        # circuit/degraded/journal state: sampled at scrape time like the
+        # stats snapshot above (0=closed, 1=open, 2=half-open)
+        self.metrics.set_gauge("store_breaker_state", float(self.store.breaker_state_code()))
+        self.metrics.set_gauge("store_degraded", 1.0 if self.store.degraded else 0.0)
+        self.metrics.set_gauge("store_journal_pending", float(self.store.journal_pending()))
         body = self.metrics.render().encode("utf-8")
         return render_response(200, body, "text/plain; version=0.0.4")
 

@@ -12,8 +12,23 @@ import pytest
 
 from repro.axnn import build_axdnn, build_quantized_accurate
 from repro.datasets import load_synthetic_cifar10, load_synthetic_mnist
+from repro.experiments.backends import reset_memory_backends
 from repro.models import build_lenet5
 from repro.nn import Adam, Conv2D, Dense, Flatten, ReLU, Sequential, Trainer
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memory_backends():
+    """Give every test a fresh ``mem://``/``sim://`` object space.
+
+    ``REPRO_STORE_URL=mem://…``/``sim://…`` resolve to process-global
+    backends so multiple stores can share one "remote"; without a reset
+    between tests (it is just a dict clear), artifacts uploaded by one
+    test would leak into the next test's remote when the suite runs with
+    a store URL in the environment (the CI remote-store-chaos job).
+    """
+    yield
+    reset_memory_backends()
 
 
 @pytest.fixture(scope="session")

@@ -348,7 +348,11 @@ class TestHttpEndToEnd:
             # the served result is bit-identical to a direct Session.run
             status, served, _ = http_json(app, "GET", f"/v1/jobs/{job_id}")
             assert status == 200
-            direct = Session(store=str(tmp_path / "direct")).run(tiny_spec())
+            # local-only: an env remote would serve the service's model
+            # and the "trained its own copy" assertion below would fail
+            direct = Session(
+                store=str(tmp_path / "direct"), store_url=""
+            ).run(tiny_spec())
             assert served["result"] == direct.to_dict()
             assert counters["train"] == 2  # the direct run trained its own copy
 
